@@ -1,0 +1,18 @@
+"""Bench target for experiment E10 (persistent-source ablation).
+
+Regenerates the SIS-vs-BIPS outcome tables; written to
+``benchmarks/out/e10_quick.{txt,json}``.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_and_record
+
+
+def bench_e10_persistence_ablation(benchmark):
+    result = run_and_record(benchmark, "E10")
+    outcomes = result.tables["outcomes"]
+    bips_row = outcomes.rows[-1]
+    assert bips_row[3] == 0, "BIPS must never go extinct"
+    sis_k2 = outcomes.rows[1]
+    assert sis_k2[3] > 0, "plain SIS should die out sometimes"

@@ -1,0 +1,15 @@
+"""Bench target for experiment E11 (w.h.p. tails, Eq. (1)).
+
+Regenerates the geometric-tail fits, the concentration ladder, and the
+exact K7 tail table; written to ``benchmarks/out/e11_quick.{txt,json}``.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_and_record
+
+
+def bench_e11_whp_tails(benchmark):
+    result = run_and_record(benchmark, "E11")
+    rates = result.tables["geometric tail fits"].column("tail rate / round")
+    assert all(0.0 < rate < 0.9 for rate in rates), "tails stopped decaying geometrically"

@@ -1,0 +1,15 @@
+"""Bench target for experiment E12 (evolving-graph extension).
+
+Regenerates the churn-regime cover/infection tables; written to
+``benchmarks/out/e12_quick.{txt,json}``.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_and_record
+
+
+def bench_e12_dynamic_graphs(benchmark):
+    result = run_and_record(benchmark, "E12")
+    fits = result.tables["log-n fits"]
+    assert min(fits.column("R^2")) > 0.7, "dynamic regimes lost the log-n shape"

@@ -1,0 +1,17 @@
+"""Bench target for experiment E13 (message-loss extension).
+
+Regenerates the lossy-duality, cost-of-loss and criticality tables;
+written to ``benchmarks/out/e13_quick.{txt,json}``.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_and_record
+
+
+def bench_e13_message_loss(benchmark):
+    result = run_and_record(benchmark, "E13")
+    gaps = result.tables["exact lossy duality"].column("max |LHS - RHS|")
+    assert max(gaps) < 1e-10, "lossy duality broke"
+    cover_probabilities = result.tables["criticality transition"].column("P(cover)")
+    assert cover_probabilities[0] > cover_probabilities[-1], "no phase transition visible"

@@ -1,0 +1,16 @@
+"""Bench target for experiment E1 (Theorem 1: COBRA cover on expanders).
+
+Regenerates E1's tables: cover times over the (n, r) grid, per-degree
+``a + b log n`` fits, and the complete-graph endpoint.  The rendered
+report is written to ``benchmarks/out/e1_quick.{txt,json}``.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_and_record
+
+
+def bench_e1_cover_expanders(benchmark):
+    result = run_and_record(benchmark, "E1")
+    fits = result.tables["log-n fits per degree"]
+    assert min(fits.column("R^2")) > 0.8, "cover time no longer linear in log n"

@@ -1,0 +1,15 @@
+"""Bench target for experiment E2 (Theorem 2: BIPS infection time).
+
+Regenerates E2's BIPS-vs-COBRA table and log-n fits; written to
+``benchmarks/out/e2_quick.{txt,json}``.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_and_record
+
+
+def bench_e2_bips_infection(benchmark):
+    result = run_and_record(benchmark, "E2")
+    ratios = result.tables["BIPS vs COBRA"].column("infec/cov")
+    assert all(0.2 < ratio < 5.0 for ratio in ratios), "infec and cov no longer same order"

@@ -1,0 +1,15 @@
+"""Bench target for experiment E3 (Theorem 3: branching factor 1 + rho).
+
+Regenerates the per-rho cover tables and log-n fits; written to
+``benchmarks/out/e3_quick.{txt,json}``.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_and_record
+
+
+def bench_e3_fractional_branching(benchmark):
+    result = run_and_record(benchmark, "E3")
+    fits = result.tables["log-n fits per rho"]
+    assert min(fits.column("R^2")) > 0.7, "fractional branching lost its log-n shape"

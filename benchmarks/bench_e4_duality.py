@@ -1,0 +1,15 @@
+"""Bench target for experiment E4 (Theorem 4: the COBRA/BIPS duality).
+
+Regenerates the exact (machine-precision) and Monte-Carlo duality
+tables; written to ``benchmarks/out/e4_quick.{txt,json}``.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_and_record
+
+
+def bench_e4_duality(benchmark):
+    result = run_and_record(benchmark, "E4")
+    gaps = result.tables["exact verification"].column("max |LHS - RHS|")
+    assert max(gaps) < 1e-10, "exact duality broke"

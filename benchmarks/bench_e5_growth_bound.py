@@ -1,0 +1,15 @@
+"""Bench target for experiment E5 (Lemma 1 / Corollary 1: growth bound).
+
+Regenerates the exact-vs-bound ratio table over graphs, branchings and
+infected-set states; written to ``benchmarks/out/e5_quick.{txt,json}``.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_and_record
+
+
+def bench_e5_growth_bound(benchmark):
+    result = run_and_record(benchmark, "E5")
+    ratios = result.tables["growth-bound ratios"].column("min exact/bound")
+    assert min(ratios) >= 1.0 - 1e-9, "Lemma 1 growth bound violated"

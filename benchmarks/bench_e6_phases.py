@@ -1,0 +1,14 @@
+"""Bench target for experiment E6 (Lemmas 2-4: three-phase BIPS growth).
+
+Regenerates the phase-duration vs lemma-budget table; written to
+``benchmarks/out/e6_quick.{txt,json}``.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_and_record
+
+
+def bench_e6_phases(benchmark):
+    result = run_and_record(benchmark, "E6")
+    assert "yes" in result.findings[0] or "budget" in result.findings[0]

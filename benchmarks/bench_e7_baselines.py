@@ -1,0 +1,17 @@
+"""Bench target for experiment E7 (complete graphs, tori, k = 1 walks).
+
+Regenerates the Dutta-et-al. comparison tables (K_n, d-dimensional
+tori, single-walk baseline); written to
+``benchmarks/out/e7_quick.{txt,json}``.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_and_record
+
+
+def bench_e7_baselines(benchmark):
+    result = run_and_record(benchmark, "E7")
+    exponents = result.tables["torus power-law fits"].column("power-law exponent")
+    assert 0.3 < exponents[0] < 0.75, "2-D torus exponent drifted from ~1/2"
+    assert 0.2 < exponents[1] < 0.55, "3-D torus exponent drifted from ~1/3"

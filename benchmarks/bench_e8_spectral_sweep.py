@@ -1,0 +1,15 @@
+"""Bench target for experiment E8 (Theorem 1's spectral-gap dependence).
+
+Regenerates the cover-vs-gap table and log-log fits; written to
+``benchmarks/out/e8_quick.{txt,json}``.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_and_record
+
+
+def bench_e8_spectral_sweep(benchmark):
+    result = run_and_record(benchmark, "E8")
+    fits = result.tables["power-law fits"]
+    assert max(fits.column("gap exponent")) <= 3.0, "gap exponent exceeds Theorem 1 ceiling"

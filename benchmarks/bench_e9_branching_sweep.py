@@ -1,0 +1,16 @@
+"""Bench target for experiment E9 (branching factor vs message budget).
+
+Regenerates the protocol-comparison table (COBRA k-sweep, push,
+push-pull); written to ``benchmarks/out/e9_quick.{txt,json}``.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_and_record
+
+
+def bench_e9_branching_sweep(benchmark):
+    result = run_and_record(benchmark, "E9")
+    table = result.tables["protocol comparison"]
+    rounds = dict(zip(table.column("protocol"), table.column("mean rounds")))
+    assert rounds["COBRA k=1.0"] > 20 * rounds["COBRA k=2.0"], "k=1 should be far slower"

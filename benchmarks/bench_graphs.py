@@ -1,0 +1,74 @@
+"""Micro-benchmarks of the graph substrate.
+
+Documents the cost of the pieces every experiment pays for: generator
+construction, spectral-gap computation on each numeric path, and the
+two neighbour samplers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.generators import circulant, complete, random_regular, torus
+from repro.graphs.spectral import lambda_second
+
+
+def bench_random_regular_n1024_r8(benchmark):
+    seeds = iter(range(10_000))
+    benchmark(lambda: random_regular(1024, 8, seed=next(seeds)))
+
+
+def bench_random_regular_n4096_r8(benchmark):
+    seeds = iter(range(10_000))
+    benchmark.pedantic(
+        lambda: random_regular(4096, 8, seed=next(seeds)), rounds=5, iterations=1
+    )
+
+
+def bench_complete_n1024(benchmark):
+    benchmark.pedantic(lambda: complete(1024), rounds=5, iterations=1)
+
+
+def bench_torus_31x31(benchmark):
+    benchmark.pedantic(lambda: torus((31, 31)), rounds=5, iterations=1)
+
+
+def bench_circulant_n513_j8(benchmark):
+    benchmark.pedantic(
+        lambda: circulant(513, tuple(range(1, 9))), rounds=5, iterations=1
+    )
+
+
+def bench_lambda_dense_n512(benchmark):
+    graph = random_regular(512, 8, seed=0)
+    benchmark.pedantic(
+        lambda: lambda_second(graph, method="dense"), rounds=3, iterations=1
+    )
+
+
+def bench_lambda_sparse_n4096(benchmark):
+    graph = random_regular(4096, 8, seed=0)
+    benchmark.pedantic(
+        lambda: lambda_second(graph, method="sparse"), rounds=3, iterations=1
+    )
+
+
+def bench_lambda_power_n512(benchmark):
+    graph = random_regular(512, 8, seed=0)
+    benchmark.pedantic(
+        lambda: lambda_second(graph, method="power"), rounds=3, iterations=1
+    )
+
+
+def bench_sample_with_replacement(benchmark):
+    graph = random_regular(4096, 8, seed=0)
+    rng = np.random.default_rng(0)
+    vertices = np.arange(4096, dtype=np.int64)
+    benchmark(graph.sample_neighbors, vertices, 2, rng)
+
+
+def bench_sample_without_replacement(benchmark):
+    graph = random_regular(4096, 8, seed=0)
+    rng = np.random.default_rng(0)
+    vertices = np.arange(4096, dtype=np.int64)
+    benchmark(graph.sample_distinct_neighbors, vertices, 2, rng)

@@ -1,0 +1,114 @@
+"""Micro-benchmarks of the simulation kernels.
+
+These document the simulator's own performance envelope: the cost of
+one synchronous round of each process and of the underlying CSR
+neighbour-sampling primitive, at moderate (n = 4096) and large
+(n = 65536) scale.  A full COBRA broadcast on an expander is ~20 of
+the ``cobra_step`` units below.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.bips import BipsProcess
+from repro.core.cobra import CobraProcess
+from repro.core.push import PushProcess
+from repro.core.pushpull import PushPullProcess
+
+
+def _saturated_cobra(graph, branching: float = 2.0) -> CobraProcess:
+    """A COBRA process advanced to its steady-state active-set size."""
+    process = CobraProcess(graph, 0, branching=branching, seed=7)
+    for _ in range(25):
+        process.step()
+    return process
+
+
+def bench_cobra_step_n4096(benchmark, expander_4096):
+    process = _saturated_cobra(expander_4096)
+    benchmark(process.step)
+    benchmark.extra_info["active_set"] = process.active_count
+
+
+def bench_cobra_step_n65536(benchmark, expander_65536):
+    process = _saturated_cobra(expander_65536)
+    benchmark(process.step)
+    benchmark.extra_info["active_set"] = process.active_count
+
+
+def bench_cobra_fractional_step_n4096(benchmark, expander_4096):
+    process = _saturated_cobra(expander_4096, branching=1.5)
+    benchmark(process.step)
+
+
+def bench_bips_step_n4096(benchmark, expander_4096):
+    process = BipsProcess(expander_4096, 0, seed=7)
+    for _ in range(25):
+        process.step()
+    benchmark(process.step)
+    benchmark.extra_info["infected"] = process.active_count
+
+
+def bench_bips_step_n65536(benchmark, expander_65536):
+    process = BipsProcess(expander_65536, 0, seed=7)
+    for _ in range(25):
+        process.step()
+    benchmark(process.step)
+
+
+def bench_push_step_n4096(benchmark, expander_4096):
+    process = PushProcess(expander_4096, 0, seed=7)
+    for _ in range(25):
+        process.step()
+    benchmark(process.step)
+
+
+def bench_pushpull_step_n4096(benchmark, expander_4096):
+    process = PushPullProcess(expander_4096, 0, seed=7)
+    benchmark(process.step)
+
+
+def bench_sample_neighbors_all_vertices_k2(benchmark, expander_4096):
+    rng = np.random.default_rng(0)
+    vertices = np.arange(expander_4096.n_vertices, dtype=np.int64)
+    benchmark(expander_4096.sample_neighbors, vertices, 2, rng)
+
+
+def bench_full_cobra_broadcast_n4096(benchmark, expander_4096):
+    def broadcast() -> int:
+        process = CobraProcess(expander_4096, 0, seed=3)
+        while not process.is_complete:
+            process.step()
+        return process.cover_time
+
+    cover_time = benchmark(broadcast)
+    benchmark.extra_info["cover_time_rounds"] = cover_time
+
+
+def bench_ensemble_sequential_100x(benchmark):
+    """100 sequential COBRA replicas on a 256-vertex expander."""
+    from repro.core.runner import sample_completion_times
+    from repro.graphs.generators import random_regular
+
+    graph = random_regular(256, 8, seed=5)
+    benchmark.pedantic(
+        lambda: sample_completion_times(
+            lambda rng: CobraProcess(graph, 0, seed=rng), 100, seed=0
+        ),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def bench_ensemble_batched_100x(benchmark):
+    """The same 100-replica ensemble through the batch engine."""
+    from repro.core.batch import batch_cobra_cover_times
+    from repro.graphs.generators import random_regular
+
+    graph = random_regular(256, 8, seed=5)
+    benchmark.pedantic(
+        lambda: batch_cobra_cover_times(graph, 0, n_replicas=100, seed=0),
+        rounds=3,
+        iterations=1,
+    )

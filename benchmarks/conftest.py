@@ -1,0 +1,51 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Every experiment benchmark runs its experiment's *quick* configuration
+once under ``benchmark.pedantic``, records the findings in
+``extra_info`` (so they land in pytest-benchmark's JSON export), and
+writes the rendered report plus the JSON result into
+``benchmarks/out/`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import run_experiment
+from repro.experiments.results import ExperimentResult
+
+OUT_DIR = Path(__file__).resolve().parent / "out"
+
+
+def run_and_record(benchmark, experiment_id: str, *, mode: str = "quick", seed: int = 0):
+    """Run one experiment under the benchmark clock and persist its report."""
+    result: ExperimentResult = benchmark.pedantic(
+        lambda: run_experiment(experiment_id, mode=mode, seed=seed),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["experiment"] = experiment_id
+    benchmark.extra_info["mode"] = mode
+    benchmark.extra_info["findings"] = result.findings
+    OUT_DIR.mkdir(parents=True, exist_ok=True)
+    result.save(OUT_DIR / f"{experiment_id.lower()}_{mode}.json")
+    (OUT_DIR / f"{experiment_id.lower()}_{mode}.txt").write_text(result.render() + "\n")
+    return result
+
+
+@pytest.fixture(scope="session")
+def expander_4096():
+    """A 4096-vertex, 8-regular expander shared by the micro benchmarks."""
+    from repro.graphs.generators import random_regular
+
+    return random_regular(4096, 8, seed=1)
+
+
+@pytest.fixture(scope="session")
+def expander_65536():
+    """A 65536-vertex, 8-regular expander for the large micro benchmarks."""
+    from repro.graphs.generators import random_regular
+
+    return random_regular(65536, 8, seed=2)

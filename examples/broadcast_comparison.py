@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Compare broadcast protocols: COBRA vs push vs push–pull vs random walks.
+
+The paper motivates COBRA as a protocol that propagates information
+fast while *limiting the number of transmissions per vertex per step*.
+This example puts four protocols on the same 1024-vertex expander and
+reports rounds-to-cover together with the message budget each needed —
+the trade-off the paper's introduction describes.
+
+Run:  python examples/broadcast_comparison.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    CobraProcess,
+    PushProcess,
+    PushPullProcess,
+    RandomWalkProcess,
+    graphs,
+    run_process,
+)
+from repro._rng import spawn_generators
+from repro.analysis.tables import Table
+from repro.core.metrics import summarize_trace
+
+N, R, SAMPLES = 1024, 8, 10
+
+
+def measure(name: str, build, table: Table) -> None:
+    rounds, totals, peaks = [], [], []
+    for rng in spawn_generators((0xC0B7A, len(name)), SAMPLES):
+        result = run_process(build(rng), record_trace=True, raise_on_timeout=True)
+        summary = summarize_trace(result.trace)
+        rounds.append(result.completion_time)
+        totals.append(summary.total_transmissions)
+        peaks.append(summary.peak_transmissions_per_round)
+    table.add_row(
+        [
+            name,
+            float(np.mean(rounds)),
+            float(np.mean(totals)),
+            float(np.mean(totals)) / N,
+            float(np.mean(peaks)),
+        ]
+    )
+
+
+def main() -> None:
+    print(f"Broadcast from one vertex of a random {R}-regular graph on {N} vertices")
+    print(f"({SAMPLES} runs per protocol; means reported)\n")
+    graph = graphs.random_regular(N, R, seed=3)
+
+    table = Table(
+        ["protocol", "rounds", "total msgs", "msgs/vertex", "peak msgs/round"],
+        float_format="%.1f",
+    )
+    measure("COBRA k=2", lambda rng: CobraProcess(graph, 0, branching=2, seed=rng), table)
+    measure("COBRA k=1.25", lambda rng: CobraProcess(graph, 0, branching=1.25, seed=rng), table)
+    measure("COBRA k=4", lambda rng: CobraProcess(graph, 0, branching=4, seed=rng), table)
+    measure("push", lambda rng: PushProcess(graph, 0, seed=rng), table)
+    measure("push-pull", lambda rng: PushPullProcess(graph, 0, seed=rng), table)
+    measure(
+        "8 random walks",
+        lambda rng: RandomWalkProcess(graph, 0, n_walkers=8, seed=rng),
+        table,
+    )
+    print(table.render())
+    print(
+        "\nReading guide: COBRA k=2 matches push's round count while its"
+        "\npeak per-round load stays bounded by the token population;"
+        "\nwalks (no branching) pay orders of magnitude more rounds."
+    )
+
+
+if __name__ == "__main__":
+    main()

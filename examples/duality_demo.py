@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Theorem 4 live: COBRA hitting tails equal BIPS non-membership, exactly.
+
+The paper's key analytical tool is a duality between the two processes:
+
+    P(Hit_C(v) > t | C_0 = C)  =  P(C ∩ A_t = ∅ | A_0 = {v})
+
+This example evolves the *exact* subset distributions of both processes
+on the Petersen graph and prints the two sides next to each other for
+t = 0..12 — they agree to machine precision, for integer and fractional
+branching factors alike.  It then repeats the check on an irregular
+graph (a star), where the identity also holds even though the paper
+only states it for regular graphs.
+
+Run:  python examples/duality_demo.py
+"""
+
+from __future__ import annotations
+
+from repro import graphs
+from repro.analysis.tables import Table
+from repro.exact.duality import duality_series
+
+T_MAX = 12
+
+
+def show(graph, start, source, branching: float) -> None:
+    cobra_side, bips_side = duality_series(
+        graph, start, source, T_MAX, branching=branching
+    )
+    print(
+        f"\n{graph.name}:  C = {start},  v = {source},  k = {branching}"
+    )
+    table = Table(
+        ["t", "COBRA  P(Hit_C(v) > t)", "BIPS  P(C cap A_t = 0)", "|difference|"],
+        float_format="%.12f",
+    )
+    for t in range(T_MAX + 1):
+        table.add_row(
+            [t, cobra_side[t], bips_side[t], abs(cobra_side[t] - bips_side[t])]
+        )
+    print(table.render())
+
+
+def main() -> None:
+    petersen = graphs.petersen()
+    show(petersen, [0], 7, branching=2.0)
+    show(petersen, [0, 3, 8], 5, branching=1.5)
+
+    # Beyond the paper: the identity holds on irregular graphs too.
+    star = graphs.star(7)
+    show(star, [1], 0, branching=2.0)
+
+    print(
+        "\nEvery |difference| above is float rounding noise: the duality is an\n"
+        "exact identity at every finite t, which is what lets the paper\n"
+        "transfer Theorem 2 (BIPS infection time) to Theorem 1 (COBRA cover)."
+    )
+
+
+if __name__ == "__main__":
+    main()

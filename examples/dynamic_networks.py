@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""COBRA on a network that changes under its feet.
+
+Real deployment targets of gossip protocols — peer-to-peer overlays,
+vehicular networks, wireless meshes — churn continuously.  This example
+runs COBRA with branching 2 on a 512-vertex random 8-regular graph that
+is re-sampled at different rates (every round / every 4 rounds /
+never) and compares the cover times: the logarithmic behaviour the
+paper proves for static expanders is robust to total churn.
+
+It also shows a custom provider: a network that *degrades* mid-run,
+switching from an expander to a ring of cliques at round 6 — COBRA
+slows down exactly when the spectral gap collapses.
+
+Run:  python examples/dynamic_networks.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import graphs
+from repro._rng import spawn_generators
+from repro.analysis.tables import Table
+from repro.core.dynamic import DynamicCobraProcess, EvolvingRegularGraph
+from repro.core.runner import run_process
+
+N, R, SAMPLES = 512, 8, 15
+
+
+def churn_comparison() -> None:
+    table = Table(["regime", "mean cover", "min", "max"], float_format="%.1f")
+    for period, label in ((1, "fresh graph every round"),
+                          (4, "re-sampled every 4 rounds"),
+                          (10**9, "static")):
+        times = []
+        for replica, rng in enumerate(spawn_generators((42, period % 997), SAMPLES)):
+            provider = EvolvingRegularGraph(N, R, period=period, seed=(7, period % 997, replica))
+            process = DynamicCobraProcess(provider, 0, branching=2.0, seed=rng)
+            result = run_process(process, raise_on_timeout=True)
+            times.append(result.completion_time)
+        table.add_row([label, float(np.mean(times)), min(times), max(times)])
+    print(f"COBRA k=2 on a churning {R}-regular graph, n={N} ({SAMPLES} runs each):\n")
+    print(table.render())
+
+
+def degradation_scenario() -> None:
+    expander = graphs.random_regular(N, R, seed=100)
+    clustered = graphs.ring_of_cliques(N // 8, 8)  # poor expander, same n
+
+    def degrading_provider(round_index: int):
+        return expander if round_index <= 6 else clustered
+
+    print("\nNetwork degradation at round 6 (expander -> ring of cliques):")
+    process = DynamicCobraProcess(degrading_provider, 0, branching=2.0, seed=5)
+    result = run_process(process, record_trace=True, raise_on_timeout=True)
+    healthy = graphs.random_regular(N, R, seed=100)
+    static = DynamicCobraProcess(lambda t: healthy, 0, branching=2.0, seed=5)
+    static_result = run_process(static, raise_on_timeout=True)
+    print(f"  static expander cover : {static_result.completion_time} rounds")
+    print(f"  degrading network     : {result.completion_time} rounds")
+    growth = [record.cumulative_count for record in result.trace[:12]]
+    print(f"  coverage after rounds 1..12: {growth}")
+    print(
+        "  (growth stalls once the snapshot loses its spectral gap — the\n"
+        "   (1 - lambda^2) factor of Lemma 1 in action, live)"
+    )
+
+
+def main() -> None:
+    churn_comparison()
+    degradation_scenario()
+
+
+if __name__ == "__main__":
+    main()

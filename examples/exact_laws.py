@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Exact laws on small graphs: cover-time pmf, infection law, endemic level.
+
+Monte-Carlo tells you means and quantiles; the exact engines give whole
+*distributions*.  This example computes, with no sampling error:
+
+1. the full pmf of the COBRA cover time on K6 (pair-state engine),
+   printed as a bar chart;
+2. the first-passage law of the BIPS infection time on the same graph;
+3. the stationary (endemic) infected-set size of BIPS on a cycle vs a
+   clique — the quantity the persistent-source epidemic settles to;
+4. a cross-check of each exact expectation against a batched
+   Monte-Carlo ensemble.
+
+Run:  python examples/exact_laws.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import graphs
+from repro.core.batch import batch_bips_infection_times, batch_cobra_cover_times
+from repro.exact.bips_exact import ExactBips
+from repro.exact.cover_exact import ExactCobraCover
+
+BAR_WIDTH = 52
+
+
+def print_pmf(label: str, pmf: np.ndarray) -> None:
+    print(f"\n{label}")
+    peak = pmf.max()
+    for t, probability in enumerate(pmf):
+        if probability < 1e-6:
+            continue
+        bar = "#" * int(round(BAR_WIDTH * probability / peak))
+        print(f"  t={t:>2}  {probability:8.5f}  {bar}")
+
+
+def main() -> None:
+    k6 = graphs.complete(6)
+
+    print("Exact laws on K6 (k = 2, from vertex 0)")
+
+    cover_engine = ExactCobraCover(k6)
+    cover_pmf, _ = cover_engine.cover_time_distribution(0, t_max=25)
+    print_pmf("COBRA cover time pmf (exact):", cover_pmf)
+    exact_cover = cover_engine.expected_cover_time(0)
+
+    bips_engine = ExactBips(k6, 0)
+    infec_pmf, _ = bips_engine.infection_time_distribution(25)
+    print_pmf("BIPS infection time pmf (exact):", infec_pmf)
+    exact_infec = bips_engine.expected_infection_time()
+
+    print("\nCross-check against 20000 batched Monte-Carlo replicas:")
+    cover_samples = batch_cobra_cover_times(k6, 0, n_replicas=20000, seed=1)
+    infec_samples = batch_bips_infection_times(k6, 0, n_replicas=20000, seed=2)
+    print(f"  E[cov]   exact {exact_cover:.4f}   empirical {cover_samples.mean():.4f}")
+    print(f"  E[infec] exact {exact_infec:.4f}   empirical {infec_samples.mean():.4f}")
+
+    print(
+        "\nQuasi-stationary structure (conditioned on not-yet-full, k = 2):"
+        "\n  theta = per-round survival factor: P(infec > t) ~ C * theta^t"
+    )
+    print(f"  {'graph':<16} {'theta':>8} {'QSD mean |A|/n':>16}")
+    for graph in (graphs.cycle(9), graphs.petersen(), graphs.complete(9)):
+        engine = ExactBips(graph, 0)
+        qsd_level = engine.quasi_stationary_mean_size() / graph.n_vertices
+        _, theta = engine.quasi_stationary_distribution()
+        print(f"  {graph.name:<16} {theta:8.4f} {qsd_level:>15.1%}")
+
+    print(
+        "\nReading guide: the full state is ABSORBING for BIPS (once everyone\n"
+        "is infected, every sample hits an infected neighbour), so the plain\n"
+        "stationary law is trivial. The quasi-stationary view shows the real\n"
+        "structure: better-connected graphs absorb faster (smaller theta) —\n"
+        "theta is exactly the geometric tail rate behind the paper's w.h.p.\n"
+        "claims, measured at scale in experiment E11."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""BIPS as an epidemic model: a persistently infected host in a herd.
+
+The paper motivates BIPS with the Bovine Viral Diarrhea Virus (BVDV):
+certain animals become *persistently infected* carriers, and
+introducing one into a herd keeps reinfecting it even though
+transiently infected animals recover.  This example models a herd as a
+contact graph (animals mix within pens, pens share fence lines —
+a ring of cliques) and contrasts:
+
+* **BIPS** — one persistently infected animal: the infection reaches
+  the whole herd and, tracked over time, keeps a large endemic level;
+* **plain SIS** — the same contact process when the index animal
+  recovers like any other: the outbreak frequently dies out on its own.
+
+Run:  python examples/persistent_source_epidemic.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import BipsProcess, SisProcess, graphs, run_process
+from repro._rng import spawn_generators
+from repro.analysis.stats import proportion_ci, summarize
+from repro.analysis.tables import Table
+
+PENS, PEN_SIZE = 12, 8  # 96 animals in 12 pens
+CONTACTS_PER_DAY = 2.0  # each animal samples k = 2 contacts per round
+TRIALS = 200
+ROUND_CAP = 400
+
+
+def main() -> None:
+    herd = graphs.ring_of_cliques(PENS, PEN_SIZE)
+    n = herd.n_vertices
+    print(
+        f"Herd model: {PENS} pens x {PEN_SIZE} animals = {n} animals, "
+        f"{herd.n_edges} contact pairs"
+    )
+    print(f"Each animal contacts ~{CONTACTS_PER_DAY:.0f} random neighbours per day.\n")
+
+    # --- persistently infected carrier (BIPS) -------------------------
+    print("Scenario A: one PERSISTENTLY infected carrier (BIPS)")
+    times = []
+    for rng in spawn_generators(2024, 25):
+        process = BipsProcess(herd, 0, branching=CONTACTS_PER_DAY, seed=rng)
+        result = run_process(process, max_rounds=ROUND_CAP, raise_on_timeout=True)
+        times.append(result.completion_time)
+    stats = summarize(times)
+    print(f"  whole herd infected in every run: mean {stats.mean:.1f} days "
+          f"(min {stats.minimum:.0f}, max {stats.maximum:.0f})")
+
+    # Endemic level after the wave: run on and watch the infected count.
+    process = BipsProcess(herd, 0, branching=CONTACTS_PER_DAY, seed=7)
+    levels = [process.step().active_count for _ in range(100)]
+    print(f"  endemic level over days 50-100: "
+          f"{np.mean(levels[50:]) / n:.0%} of the herd infected on a given day\n")
+
+    # --- ordinary index case (plain SIS) -------------------------------
+    print("Scenario B: ordinary index case, everyone can recover (plain SIS)")
+    table = Table(["outcome", "runs", "fraction", "mean days"], float_format="%.2f")
+    extinct_times, took_off = [], 0
+    for rng in spawn_generators(4048, TRIALS):
+        process = SisProcess(herd, 0, branching=CONTACTS_PER_DAY, seed=rng)
+        result = run_process(process, max_rounds=ROUND_CAP)
+        if result.extinct:
+            extinct_times.append(result.rounds_run)
+        else:
+            took_off += 1
+    extinct = len(extinct_times)
+    low, high = proportion_ci(extinct, TRIALS)
+    table.add_row(
+        [
+            "outbreak died out",
+            extinct,
+            extinct / TRIALS,
+            summarize(extinct_times).mean if extinct_times else None,
+        ]
+    )
+    table.add_row(["outbreak took off", took_off, took_off / TRIALS, None])
+    print(table.render())
+    print(f"  95% CI for extinction probability: [{low:.2f}, {high:.2f}]")
+
+    print(
+        "\nThe persistent carrier removes the early-extinction escape hatch —\n"
+        "exactly the property the paper encodes as 'v in A_t for all t' and\n"
+        "which Theorem 2 turns into guaranteed O(log n / (1-lambda)^3) spread."
+    )
+
+
+if __name__ == "__main__":
+    main()

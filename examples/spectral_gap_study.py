@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""How the spectral gap drives COBRA's cover time (Theorem 1's λ-axis).
+
+Theorem 1 bounds the cover time by ``log n / (1 - λ)³``.  This study
+sweeps two graph families whose gaps differ by orders of magnitude at a
+(nearly) fixed number of vertices:
+
+* circulants ``C_513(1..j)`` — analytic eigenvalues, gaps from ~1e-4
+  (j = 1, essentially a cycle) up to ~0.2;
+* random `r`-regular graphs at n = 512 — gaps from ~0.06 (r = 3) to
+  ~0.8 (r = 32).
+
+It prints the measured cover times with the theory bound and an ASCII
+log-log figure of cover time vs ``1/(1-λ)``.
+
+Run:  python examples/spectral_gap_study.py
+"""
+
+from __future__ import annotations
+
+from repro import graphs
+from repro.analysis.ascii_plot import ascii_plot
+from repro.analysis.fitting import fit_power_law
+from repro.analysis.tables import Table
+from repro.experiments.sweep import measure_cobra_cover
+from repro.graphs.spectral import analytic_lambda, lambda_second
+from repro.theory.bounds import cover_time_bound
+
+SAMPLES = 10
+
+
+def main() -> None:
+    table = Table(
+        ["graph", "lambda", "1/(1-lambda)", "mean cover", "Theorem 1 bound"],
+        float_format="%.4g",
+    )
+
+    circulant_x, circulant_y = [], []
+    for j in (1, 2, 4, 8, 16):
+        offsets = tuple(range(1, j + 1))
+        graph = graphs.circulant(513, offsets)
+        lam = analytic_lambda("circulant", n=513, offsets=offsets)
+        cover = measure_cobra_cover(graph, n_samples=SAMPLES, seed=(1, j)).mean
+        table.add_row(
+            [f"circulant(513, 1..{j})", lam, 1 / (1 - lam), cover,
+             cover_time_bound(513, lam)]
+        )
+        circulant_x.append(1 / (1 - lam))
+        circulant_y.append(cover)
+
+    regular_x, regular_y = [], []
+    for r in (3, 4, 6, 8, 16, 32):
+        graph = graphs.random_regular(512, r, seed=r)
+        lam = lambda_second(graph)
+        cover = measure_cobra_cover(graph, n_samples=SAMPLES, seed=(2, r)).mean
+        table.add_row(
+            [f"random regular r={r}", lam, 1 / (1 - lam), cover,
+             cover_time_bound(512, lam)]
+        )
+        regular_x.append(1 / (1 - lam))
+        regular_y.append(cover)
+
+    print(table.render())
+
+    circulant_fit = fit_power_law(circulant_x, circulant_y)
+    print(
+        f"\ncirculant family: cover ~ (1/(1-lambda))^{circulant_fit.slope:.2f} "
+        f"(R^2 = {circulant_fit.r_squared:.3f}) — far below Theorem 1's cube, "
+        "the bound is loose here"
+    )
+
+    print()
+    print(
+        ascii_plot(
+            {
+                "circulant(513)": (circulant_x, circulant_y),
+                "random regular": (regular_x, regular_y),
+            },
+            log_x=True,
+            log_y=True,
+            title="COBRA k=2 cover time vs 1/(1-lambda), log-log",
+            x_label="1/(1-lambda)",
+            y_label="rounds",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

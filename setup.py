@@ -1,0 +1,11 @@
+"""Setup shim for legacy editable installs.
+
+The metadata lives in pyproject.toml; this file only exists so that
+``pip install -e . --no-use-pep517`` works on environments without the
+``wheel`` package (PEP 660 editable wheels need it, offline boxes may
+lack it).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,67 @@
+"""Random-number-generator plumbing shared across the library.
+
+Every stochastic entry point in :mod:`repro` accepts a ``seed`` argument
+of type :data:`SeedLike` and normalises it through
+:func:`ensure_generator`.  Ensembles of independent runs derive child
+generators through :func:`spawn_generators`, which uses NumPy's
+``SeedSequence.spawn`` so that per-run streams are statistically
+independent and the whole ensemble is reproducible from one integer.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+import numpy as np
+
+#: Anything accepted as a source of randomness: ``None`` (OS entropy),
+#: an integer, a tuple/list of integers (useful for composite seeds
+#: like ``(master, n, r)``), a ``SeedSequence``, or a ``Generator``.
+SeedLike = Union[
+    None, int, Sequence[int], np.random.SeedSequence, np.random.Generator
+]
+
+
+def ensure_generator(seed: SeedLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    ``None`` gives fresh OS entropy; an ``int``, integer sequence, or
+    ``SeedSequence`` is used as the seed; an existing ``Generator`` is
+    returned unchanged (not copied), so callers sharing a generator
+    share its stream.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, np.random.SeedSequence):
+        return np.random.default_rng(seed)
+    return np.random.default_rng(seed)
+
+
+def spawn_generators(seed: SeedLike, count: int) -> list[np.random.Generator]:
+    """Create ``count`` independent generators derived from ``seed``.
+
+    If ``seed`` is already a ``Generator`` the children are spawned from
+    its internal bit generator, advancing it; otherwise a fresh
+    ``SeedSequence`` is built.  Children are independent of each other.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    if isinstance(seed, np.random.Generator):
+        return [np.random.default_rng(s) for s in seed.bit_generator.seed_seq.spawn(count)]
+    return [np.random.default_rng(child) for child in derive_seed_sequence(seed).spawn(count)]
+
+
+def derive_seed_sequence(seed: SeedLike) -> np.random.SeedSequence:
+    """Return a ``SeedSequence`` equivalent to ``seed`` for spawning.
+
+    Generators contribute their underlying seed sequence; integers,
+    integer sequences, and ``None`` build a fresh sequence.
+    """
+    if isinstance(seed, np.random.SeedSequence):
+        return seed
+    if isinstance(seed, np.random.Generator):
+        seq = seed.bit_generator.seed_seq
+        if isinstance(seq, np.random.SeedSequence):
+            return seq
+        return np.random.SeedSequence(None)
+    return np.random.SeedSequence(seed)

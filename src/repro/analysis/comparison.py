@@ -1,0 +1,111 @@
+"""Two-sample statistical comparisons for process measurements.
+
+"Protocol A is faster than protocol B" claims in the experiments are
+means over finite ensembles; these helpers attach significance to such
+comparisons.  Both the parametric route (Welch's t-test — unequal
+variances, the normal case for completion times at these ensemble
+sizes) and the non-parametric route (Mann–Whitney U — no distributional
+assumption, right choice for skewed tails) are provided, wrapped in a
+plain-language verdict object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ComparisonResult:
+    """Outcome of comparing sample A against sample B.
+
+    ``direction`` is ``"A < B"``, ``"A > B"`` or ``"inconclusive"``
+    at the requested significance level; ``p_value`` is two-sided.
+    The direction's location measure matches the test: means for
+    Welch's t, medians for Mann–Whitney (rank-based verdicts must not
+    be flipped by outliers the test itself ignores).
+    """
+
+    statistic: float
+    p_value: float
+    mean_a: float
+    mean_b: float
+    direction: str
+    method: str
+
+    @property
+    def significant(self) -> bool:
+        """Whether the two samples differ at the level used."""
+        return self.direction != "inconclusive"
+
+    def __str__(self) -> str:
+        return (
+            f"{self.method}: mean_a={self.mean_a:.3f} mean_b={self.mean_b:.3f} "
+            f"p={self.p_value:.2e} -> {self.direction}"
+        )
+
+
+def _as_samples(a: Sequence[float], b: Sequence[float]) -> tuple[np.ndarray, np.ndarray]:
+    a_array = np.asarray(a, dtype=np.float64)
+    b_array = np.asarray(b, dtype=np.float64)
+    if a_array.ndim != 1 or b_array.ndim != 1 or a_array.size < 2 or b_array.size < 2:
+        raise ValueError("both samples must be 1-D with at least two values")
+    return a_array, b_array
+
+
+def _verdict(location_a: float, location_b: float, p_value: float, alpha: float) -> str:
+    if p_value >= alpha:
+        return "inconclusive"
+    return "A < B" if location_a < location_b else "A > B"
+
+
+def welch_t_test(
+    a: Sequence[float], b: Sequence[float], *, alpha: float = 0.05
+) -> ComparisonResult:
+    """Welch's unequal-variance t-test (two-sided)."""
+    from scipy import stats
+
+    a_array, b_array = _as_samples(a, b)
+    statistic, p_value = stats.ttest_ind(a_array, b_array, equal_var=False)
+    mean_a, mean_b = float(a_array.mean()), float(b_array.mean())
+    return ComparisonResult(
+        statistic=float(statistic),
+        p_value=float(p_value),
+        mean_a=mean_a,
+        mean_b=mean_b,
+        direction=_verdict(mean_a, mean_b, float(p_value), alpha),
+        method="welch-t",
+    )
+
+
+def mann_whitney(
+    a: Sequence[float], b: Sequence[float], *, alpha: float = 0.05
+) -> ComparisonResult:
+    """Mann–Whitney U test (two-sided), robust to skew and outliers."""
+    from scipy import stats
+
+    a_array, b_array = _as_samples(a, b)
+    statistic, p_value = stats.mannwhitneyu(a_array, b_array, alternative="two-sided")
+    return ComparisonResult(
+        statistic=float(statistic),
+        p_value=float(p_value),
+        mean_a=float(a_array.mean()),
+        mean_b=float(b_array.mean()),
+        direction=_verdict(
+            float(np.median(a_array)), float(np.median(b_array)), float(p_value), alpha
+        ),
+        method="mann-whitney",
+    )
+
+
+def compare_completion_times(
+    a: Sequence[float], b: Sequence[float], *, alpha: float = 0.05
+) -> ComparisonResult:
+    """Default comparison for completion-time ensembles.
+
+    Uses Mann–Whitney (completion-time distributions have geometric
+    right tails, so rank-based inference is the safe default).
+    """
+    return mann_whitney(a, b, alpha=alpha)

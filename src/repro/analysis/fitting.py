@@ -1,0 +1,87 @@
+"""Least-squares fits used to check the paper's scaling claims.
+
+The experiments reduce each asymptotic claim to a regression:
+
+* Theorem 1/2 — cover/infection time vs ``log n`` should be *linear*
+  (:func:`fit_log_linear` with high ``R²``), with slope roughly
+  independent of the degree;
+* the grid comparison — cover time vs ``n`` should be a *power law*
+  with exponent ``≈ 1/d`` (:func:`fit_power_law`);
+* the spectral sweep — cover time vs ``1/(1-λ)`` is fitted on log-log
+  axes to estimate the gap exponent, which Theorem 1 upper-bounds by 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """Ordinary-least-squares line ``y = intercept + slope * x``.
+
+    ``r_squared`` is the coefficient of determination; for a constant
+    response it is defined as 1 when residuals vanish, else 0.
+    """
+
+    slope: float
+    intercept: float
+    r_squared: float
+
+    def predict(self, x: float | np.ndarray) -> float | np.ndarray:
+        """Evaluate the fitted line at ``x``."""
+        return self.intercept + self.slope * np.asarray(x, dtype=np.float64)
+
+    def __str__(self) -> str:
+        return f"y = {self.intercept:.3f} + {self.slope:.3f}·x (R²={self.r_squared:.4f})"
+
+
+def fit_linear(x: Sequence[float], y: Sequence[float]) -> LinearFit:
+    """OLS fit of ``y`` on ``x``; needs at least two distinct ``x`` values."""
+    x_array = np.asarray(x, dtype=np.float64)
+    y_array = np.asarray(y, dtype=np.float64)
+    if x_array.shape != y_array.shape or x_array.ndim != 1:
+        raise ValueError(
+            f"x and y must be equal-length 1-D sequences, got {x_array.shape} and {y_array.shape}"
+        )
+    if x_array.size < 2:
+        raise ValueError("need at least two points to fit a line")
+    if np.ptp(x_array) == 0.0:
+        raise ValueError("x values are all identical; slope is undefined")
+    slope, intercept = np.polyfit(x_array, y_array, deg=1)
+    predictions = intercept + slope * x_array
+    residual_ss = float(((y_array - predictions) ** 2).sum())
+    total_ss = float(((y_array - y_array.mean()) ** 2).sum())
+    if total_ss == 0.0:
+        # Constant response: a perfect fit up to float noise counts as R² = 1.
+        scale = max(1.0, float(np.abs(y_array).max()) ** 2)
+        r_squared = 1.0 if residual_ss <= 1e-12 * scale else 0.0
+    else:
+        r_squared = 1.0 - residual_ss / total_ss
+    return LinearFit(slope=float(slope), intercept=float(intercept), r_squared=r_squared)
+
+
+def fit_log_linear(n_values: Sequence[float], times: Sequence[float]) -> LinearFit:
+    """Fit ``time = a + b log(n)`` — the Theorem 1/2 shape.
+
+    Returns the fit in the transformed coordinate ``x = log n``.
+    """
+    n_array = np.asarray(n_values, dtype=np.float64)
+    if np.any(n_array <= 0):
+        raise ValueError("n values must be positive for a log fit")
+    return fit_linear(np.log(n_array), times)
+
+
+def fit_power_law(x: Sequence[float], y: Sequence[float]) -> LinearFit:
+    """Fit ``y = c * x^e`` on log-log axes; ``slope`` is the exponent ``e``.
+
+    ``intercept`` is ``log c``.
+    """
+    x_array = np.asarray(x, dtype=np.float64)
+    y_array = np.asarray(y, dtype=np.float64)
+    if np.any(x_array <= 0) or np.any(y_array <= 0):
+        raise ValueError("power-law fits require strictly positive data")
+    return fit_linear(np.log(x_array), np.log(y_array))

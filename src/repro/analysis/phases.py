@@ -1,0 +1,118 @@
+"""Decompose BIPS trajectories into the proof's three phases.
+
+The proof of Theorem 2 splits the growth of the infected set into:
+
+* a **small-set phase** (Lemma 2): from ``|A_0| = 1`` to the boundary
+  ``m = K log(n)/(1-λ)²``, budgeted ``13m/(1-λ) + 24C log(n)/(1-λ)²``
+  rounds;
+* a **mid phase** (Lemma 3): from the boundary to ``9n/10``, budgeted
+  ``23 log(n)/(1-λ)`` rounds;
+* an **endgame** (Lemma 4): from ``9n/10`` to full infection, budgeted
+  ``8 log(n)/(1-λ)`` rounds.
+
+:func:`split_phases` measures where a recorded trajectory actually
+crosses those thresholds, so experiment E6 can report measured phase
+durations against the lemmas' budgets.  The paper's constant
+``K = 4000`` makes the boundary exceed ``n`` for any feasible
+simulation size, so the experiment also reports a scaled-down boundary
+(the *shape* of the decomposition) — flagged explicitly in the output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PhaseBreakdown:
+    """Measured phase-crossing rounds of one infection trajectory.
+
+    Attributes
+    ----------
+    boundary_size:
+        The small/mid threshold used (``m``).
+    mid_target:
+        The mid/endgame threshold used (``⌈9n/10⌉`` by default).
+    t_boundary:
+        First round with ``|A_t| >= boundary_size`` (``None`` if never).
+    t_mid:
+        First round with ``|A_t| >= mid_target`` (``None`` if never).
+    t_full:
+        First round with ``|A_t| = n`` (``None`` if never).
+    small_phase_rounds / mid_phase_rounds / endgame_rounds:
+        Durations between consecutive crossings (``None`` when a
+        crossing is missing).
+    """
+
+    boundary_size: float
+    mid_target: float
+    t_boundary: int | None
+    t_mid: int | None
+    t_full: int | None
+
+    @property
+    def small_phase_rounds(self) -> int | None:
+        """Rounds to reach the small/mid boundary."""
+        return self.t_boundary
+
+    @property
+    def mid_phase_rounds(self) -> int | None:
+        """Rounds from the boundary to the mid target."""
+        if self.t_boundary is None or self.t_mid is None:
+            return None
+        return self.t_mid - self.t_boundary
+
+    @property
+    def endgame_rounds(self) -> int | None:
+        """Rounds from the mid target to full infection."""
+        if self.t_mid is None or self.t_full is None:
+            return None
+        return self.t_full - self.t_mid
+
+
+def split_phases(
+    sizes: np.ndarray,
+    n_vertices: int,
+    boundary_size: float,
+    *,
+    mid_fraction: float = 0.9,
+) -> PhaseBreakdown:
+    """Locate the proof's phase crossings in a size trajectory.
+
+    Parameters
+    ----------
+    sizes:
+        ``|A_t|`` for ``t = 0, 1, 2, ...`` (index = round).
+    n_vertices:
+        The graph size `n`.
+    boundary_size:
+        The small/mid threshold ``m`` (e.g.
+        :func:`repro.theory.bounds.phase_boundary_size`, possibly with a
+        reduced constant for simulation-scale `n`).
+    mid_fraction:
+        The mid/endgame threshold as a fraction of `n` (paper: 9/10).
+    """
+    sizes = np.asarray(sizes, dtype=np.int64)
+    if sizes.ndim != 1 or sizes.size == 0:
+        raise ValueError(f"sizes must be a non-empty 1-D array, got shape {sizes.shape}")
+    if not 0.0 < mid_fraction <= 1.0:
+        raise ValueError(f"mid_fraction must be in (0, 1], got {mid_fraction}")
+    mid_target = mid_fraction * n_vertices
+
+    t_boundary = _first_crossing(sizes, boundary_size)
+    t_mid = _first_crossing(sizes, mid_target)
+    t_full = _first_crossing(sizes, n_vertices)
+    return PhaseBreakdown(
+        boundary_size=float(boundary_size),
+        mid_target=float(mid_target),
+        t_boundary=t_boundary,
+        t_mid=t_mid,
+        t_full=t_full,
+    )
+
+
+def _first_crossing(sizes: np.ndarray, threshold: float) -> int | None:
+    hits = np.flatnonzero(sizes >= threshold)
+    return int(hits[0]) if hits.size else None

@@ -1,0 +1,118 @@
+"""Tail analysis for the paper's "with high probability" claims.
+
+Theorems 1–3 assert their round counts both in expectation and w.h.p.
+(failure probability ``n^{-c}``).  The mechanism behind the w.h.p.
+statements is the restart argument of Eq. (1): if one window of ``T``
+rounds fails with probability ``q``, independent restarts give
+``P(cov > j·T) <= q^j`` — a geometric tail.  The helpers here measure
+that tail from completion-time samples:
+
+* :func:`empirical_survival` — the empirical survival function
+  ``t ↦ P̂(X > t)``;
+* :func:`fit_geometric_tail` — a log-linear fit of the survival
+  function beyond the median, returning the per-round decay rate;
+* :func:`restart_expectation_bound` — Eq. (1)'s closed form
+  ``E[X] <= T / (1 - q)²`` for window ``T`` and failure rate ``q``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.fitting import LinearFit, fit_linear
+
+
+def empirical_survival(samples: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Empirical survival function of an integer sample.
+
+    Returns ``(values, survival)`` where ``survival[i] = P̂(X > values[i])``,
+    for every distinct sample value in increasing order.
+    """
+    samples = np.asarray(samples, dtype=np.float64)
+    if samples.ndim != 1 or samples.size == 0:
+        raise ValueError(f"expected a non-empty 1-D sample, got shape {samples.shape}")
+    values = np.unique(samples)
+    survival = np.array([(samples > value).mean() for value in values])
+    return values, survival
+
+
+@dataclass(frozen=True)
+class GeometricTailFit:
+    """Result of fitting ``P(X > t) ≈ C · rate^t`` beyond a threshold.
+
+    Attributes
+    ----------
+    rate:
+        Per-round decay multiplier in ``(0, 1)`` (smaller = faster
+        decay); ``exp(slope)`` of the log-survival fit.
+    log_fit:
+        The underlying linear fit of ``log P(X > t)`` against ``t``.
+    threshold:
+        Tail threshold used (fit restricted to ``t >= threshold``).
+    n_tail_points:
+        Number of distinct survival points in the fitted region.
+    """
+
+    rate: float
+    log_fit: LinearFit
+    threshold: float
+    n_tail_points: int
+
+    @property
+    def halving_time(self) -> float:
+        """Rounds for the tail probability to halve."""
+        return float(np.log(0.5) / np.log(self.rate))
+
+
+def fit_geometric_tail(
+    samples: np.ndarray, *, threshold_quantile: float = 0.5
+) -> GeometricTailFit:
+    """Fit a geometric decay to the upper tail of a completion-time sample.
+
+    The survival function is computed empirically, restricted to values
+    at or above the given quantile (and with survival > 0), and
+    ``log P(X > t)`` is regressed on ``t``.  A restart-style process
+    (Eq. (1)) produces a straight line; the returned ``rate`` is the
+    measured per-round failure decay.
+    """
+    if not 0.0 <= threshold_quantile < 1.0:
+        raise ValueError(f"threshold_quantile must be in [0, 1), got {threshold_quantile}")
+    samples = np.asarray(samples, dtype=np.float64)
+    values, survival = empirical_survival(samples)
+    threshold = float(np.quantile(samples, threshold_quantile))
+    keep = (values >= threshold) & (survival > 0)
+    if keep.sum() < 3:
+        raise ValueError(
+            f"only {int(keep.sum())} tail points above quantile {threshold_quantile}; "
+            "need at least 3 (collect more samples or lower the threshold)"
+        )
+    fit = fit_linear(values[keep], np.log(survival[keep]))
+    rate = float(np.exp(fit.slope))
+    if not 0.0 < rate < 1.0:
+        raise ValueError(
+            f"fitted tail rate {rate:.3f} is not in (0, 1): "
+            "the sample's tail is not decaying"
+        )
+    return GeometricTailFit(
+        rate=rate,
+        log_fit=fit,
+        threshold=threshold,
+        n_tail_points=int(keep.sum()),
+    )
+
+
+def restart_expectation_bound(window: float, failure_probability: float) -> float:
+    """Eq. (1)'s expectation bound for a restartable process.
+
+    If each window of ``T = window`` rounds completes with probability
+    ``1 - q``, then ``E[X] <= Σ_j q^j (j+1) T = T / (1 - q)²``.
+    """
+    if window <= 0:
+        raise ValueError(f"window must be positive, got {window}")
+    if not 0.0 <= failure_probability < 1.0:
+        raise ValueError(
+            f"failure_probability must be in [0, 1), got {failure_probability}"
+        )
+    return window / (1.0 - failure_probability) ** 2

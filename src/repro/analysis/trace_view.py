@@ -1,0 +1,62 @@
+"""Terminal-friendly rendering of process traces.
+
+Turns a recorded :class:`~repro.core.process.Trace` into the
+round-by-round view the quickstart example prints: active-set size,
+cumulative coverage, and a proportional coverage bar per round.
+"""
+
+from __future__ import annotations
+
+from repro.core.process import Trace
+
+
+def render_coverage_bars(
+    trace: Trace,
+    n_vertices: int,
+    *,
+    width: int = 50,
+    max_rows: int | None = None,
+) -> str:
+    """Round-by-round coverage view of a trace.
+
+    Parameters
+    ----------
+    trace:
+        A recorded trace (``run_process(..., record_trace=True)``).
+    n_vertices:
+        The graph size, for scaling the bars.
+    width:
+        Width in characters of a full (100% coverage) bar.
+    max_rows:
+        When given and the trace is longer, show the first and last
+        ``max_rows // 2`` rounds with an elision marker between.
+    """
+    if n_vertices < 1:
+        raise ValueError(f"n_vertices must be positive, got {n_vertices}")
+    if width < 1:
+        raise ValueError(f"width must be positive, got {width}")
+    records = list(trace)
+    if not records:
+        return "(empty trace)"
+
+    elided = False
+    if max_rows is not None and len(records) > max_rows:
+        head = max(max_rows // 2, 1)
+        tail = max(max_rows - head, 1)
+        records = records[:head] + records[-tail:]
+        elide_after = head - 1
+        elided = True
+
+    digit_width = len(str(max(record.round_index for record in records)))
+    count_width = len(str(n_vertices))
+    lines = []
+    for position, record in enumerate(records):
+        bar = "#" * (width * record.cumulative_count // n_vertices)
+        lines.append(
+            f"t={str(record.round_index).rjust(digit_width)}  "
+            f"active={str(record.active_count).rjust(count_width)}  "
+            f"covered={str(record.cumulative_count).rjust(count_width)}  |{bar}"
+        )
+        if elided and position == elide_after:
+            lines.append("  ..." + " " * 10 + f"({len(trace) - len(records)} rounds elided)")
+    return "\n".join(lines)

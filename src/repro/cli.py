@@ -1,0 +1,240 @@
+"""Command-line interface: list, inspect, and run the reproduction experiments.
+
+Usage (installed as ``cobra-repro`` or via ``python -m repro``)::
+
+    cobra-repro list                      # all experiments and claims
+    cobra-repro info E4                   # one experiment's identity card
+    cobra-repro run E1 --mode quick       # run and print one experiment
+    cobra-repro run E1 --out results/     # ... also write JSON
+    cobra-repro all --mode quick          # run everything in order
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import Sequence
+
+from repro.errors import ReproError
+from repro.experiments import experiment_ids, get_spec, run_experiment
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="cobra-repro",
+        description=(
+            "Reproduction of 'The Coalescing-Branching Random Walk on Expanders "
+            "and the Dual Epidemic Process' (Cooper, Radzik, Rivera; PODC 2016)"
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list all experiments")
+
+    info = subparsers.add_parser("info", help="show one experiment's identity card")
+    info.add_argument("experiment", help="experiment id, e.g. E1")
+
+    run = subparsers.add_parser("run", help="run one experiment")
+    run.add_argument("experiment", help="experiment id, e.g. E1")
+    _add_run_options(run)
+
+    run_all = subparsers.add_parser("all", help="run every experiment in order")
+    _add_run_options(run_all)
+
+    graph_info = subparsers.add_parser(
+        "graph-info", help="build a graph family and print structure + spectrum"
+    )
+    graph_info.add_argument(
+        "family",
+        help=(
+            "generator name from repro.graphs "
+            "(e.g. petersen, complete, cycle, random_regular, torus)"
+        ),
+    )
+    graph_info.add_argument(
+        "params",
+        nargs="*",
+        help="positional generator arguments, integers or comma-tuples (e.g. 5,7)",
+    )
+    graph_info.add_argument("--seed", type=int, default=0, help="seed for random families")
+
+    cover = subparsers.add_parser(
+        "cover", help="run one COBRA broadcast on an expander and show the trace"
+    )
+    cover.add_argument("-n", type=int, default=1024, help="number of vertices")
+    cover.add_argument("-r", type=int, default=8, help="degree")
+    cover.add_argument("-k", "--branching", type=float, default=2.0, help="branching factor")
+    cover.add_argument("--seed", type=int, default=0, help="master seed")
+
+    duality = subparsers.add_parser(
+        "duality", help="exact Theorem 4 check on a small structured graph"
+    )
+    duality.add_argument(
+        "--graph",
+        choices=("petersen", "k7", "c9"),
+        default="petersen",
+        help="small graph to verify on",
+    )
+    duality.add_argument("-k", "--branching", type=float, default=2.0, help="branching factor")
+    duality.add_argument("--t-max", type=int, default=10, help="horizon")
+
+    campaign = subparsers.add_parser(
+        "campaign", help="run a JSON-described batch of experiments with a manifest"
+    )
+    campaign.add_argument("file", type=Path, help="campaign description JSON")
+    campaign.add_argument(
+        "--out", type=Path, default=Path("results"), help="output directory root"
+    )
+    return parser
+
+
+def _campaign(file: Path, out: Path) -> None:
+    from repro.experiments.campaign import Campaign, run_campaign
+
+    description = Campaign.from_json(file.read_text())
+    manifest = run_campaign(description, out, progress=print)
+    total = sum(entry["seconds"] for entry in manifest["entries"])
+    print(
+        f"campaign {description.name!r}: {len(manifest['entries'])} runs "
+        f"in {total:.1f}s -> {out / description.name}"
+    )
+
+
+def _cover(n: int, r: int, branching: float, seed: int) -> None:
+    from repro.analysis.trace_view import render_coverage_bars
+    from repro.core.cobra import CobraProcess
+    from repro.core.runner import run_process
+    from repro.graphs.generators import random_regular
+
+    graph = random_regular(n, r, seed=seed)
+    process = CobraProcess(graph, 0, branching=branching, seed=seed + 1)
+    result = run_process(process, record_trace=True, raise_on_timeout=True)
+    print(f"{graph}: COBRA k={branching} covered in {result.completion_time} rounds")
+    print(render_coverage_bars(result.trace, n, max_rows=40))
+
+
+def _duality(graph_name: str, branching: float, t_max: int) -> None:
+    from repro.analysis.tables import Table
+    from repro.exact.duality import duality_series
+    from repro.graphs.generators import complete, cycle, petersen
+
+    graph = {"petersen": petersen, "k7": lambda: complete(7), "c9": lambda: cycle(9)}[
+        graph_name
+    ]()
+    start, source = [0], graph.n_vertices - 1
+    cobra_side, bips_side = duality_series(graph, start, source, t_max, branching=branching)
+    table = Table(
+        ["t", "COBRA P(Hit>t)", "BIPS P(disjoint)", "|diff|"], float_format="%.12f"
+    )
+    for t in range(t_max + 1):
+        table.add_row([t, cobra_side[t], bips_side[t], abs(cobra_side[t] - bips_side[t])])
+    print(f"{graph}: C = {start}, v = {source}, k = {branching}")
+    print(table.render())
+    print(f"max |difference| = {max(abs(cobra_side - bips_side)):.3e}")
+
+
+def _parse_graph_param(token: str):
+    if "," in token:
+        return tuple(int(part) for part in token.split(",") if part)
+    try:
+        return int(token)
+    except ValueError:
+        return float(token)
+
+
+def _graph_info(family: str, params: list[str], seed: int) -> None:
+    from repro import graphs
+    from repro.errors import ReproError
+    from repro.graphs.properties import degree_histogram, diameter, is_bipartite, is_connected
+    from repro.graphs.spectral import lambda_second, spectral_gap
+
+    generator = getattr(graphs, family, None)
+    if generator is None or not callable(generator):
+        raise ReproError(
+            f"unknown graph family {family!r}; see repro.graphs for available generators"
+        )
+    arguments = [_parse_graph_param(token) for token in params]
+    try:
+        if family in ("random_regular", "erdos_renyi"):
+            graph = generator(*arguments, seed=seed)
+        else:
+            graph = generator(*arguments)
+    except TypeError as error:
+        raise ReproError(f"bad arguments for {family}: {error}") from None
+
+    print(graph)
+    print(f"  connected : {is_connected(graph)}")
+    print(f"  bipartite : {is_bipartite(graph)}")
+    print(f"  degrees   : {degree_histogram(graph)}")
+    if graph.n_vertices <= 4096 and is_connected(graph):
+        lam = lambda_second(graph)
+        print(f"  lambda    : {lam:.6f}   spectral gap: {spectral_gap(graph):.6f}")
+    if graph.n_vertices <= 512 and is_connected(graph):
+        print(f"  diameter  : {diameter(graph)}")
+
+
+def _add_run_options(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--mode",
+        choices=("quick", "full"),
+        default="quick",
+        help="quick = CI-scale parameters, full = EXPERIMENTS.md-scale",
+    )
+    subparser.add_argument("--seed", type=int, default=0, help="master seed")
+    subparser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="directory to write JSON results into",
+    )
+
+
+def _run_one(experiment_id: str, mode: str, seed: int, out: Path | None) -> None:
+    started = time.perf_counter()
+    result = run_experiment(experiment_id, mode=mode, seed=seed)
+    elapsed = time.perf_counter() - started
+    print(result.render())
+    print(f"\n[{result.spec.experiment_id}] finished in {elapsed:.1f}s")
+    if out is not None:
+        path = out / f"{result.spec.experiment_id.lower()}_{mode}.json"
+        result.save(path)
+        print(f"[{result.spec.experiment_id}] saved to {path}")
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "list":
+            for experiment_id in experiment_ids():
+                spec = get_spec(experiment_id)
+                print(f"{spec.experiment_id:>4}  {spec.title}  [{spec.paper_reference}]")
+        elif args.command == "info":
+            print(get_spec(args.experiment).header())
+        elif args.command == "run":
+            _run_one(args.experiment, args.mode, args.seed, args.out)
+        elif args.command == "all":
+            for experiment_id in experiment_ids():
+                _run_one(experiment_id, args.mode, args.seed, args.out)
+                print()
+        elif args.command == "graph-info":
+            _graph_info(args.family, args.params, args.seed)
+        elif args.command == "cover":
+            _cover(args.n, args.r, args.branching, args.seed)
+        elif args.command == "duality":
+            _duality(args.graph, args.branching, args.t_max)
+        elif args.command == "campaign":
+            _campaign(args.file, args.out)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,53 @@
+"""Process engines: COBRA, BIPS, and the comparison baselines.
+
+All engines share the :class:`~repro.core.process.SpreadingProcess`
+interface: construct with a graph, a starting configuration, a
+branching factor and a seed; call :meth:`step` (or use the runners in
+:mod:`repro.core.runner`) and read round records off the returned
+:class:`~repro.core.process.RoundRecord` objects.
+"""
+
+from repro.core.batch import batch_bips_infection_times, batch_cobra_cover_times
+from repro.core.bips import BipsProcess
+from repro.core.cobra import CobraProcess
+from repro.core.dynamic import (
+    DynamicBipsProcess,
+    DynamicCobraProcess,
+    EvolvingRegularGraph,
+    static_provider,
+)
+from repro.core.process import RoundRecord, SpreadingProcess, Trace
+from repro.core.pull import PullProcess
+from repro.core.push import PushProcess
+from repro.core.pushpull import PushPullProcess
+from repro.core.randomwalk import RandomWalkProcess
+from repro.core.runner import (
+    RunResult,
+    default_max_rounds,
+    run_process,
+    sample_completion_times,
+)
+from repro.core.sis import SisProcess
+
+__all__ = [
+    "SpreadingProcess",
+    "RoundRecord",
+    "Trace",
+    "CobraProcess",
+    "BipsProcess",
+    "SisProcess",
+    "PushProcess",
+    "PullProcess",
+    "PushPullProcess",
+    "RandomWalkProcess",
+    "RunResult",
+    "run_process",
+    "sample_completion_times",
+    "default_max_rounds",
+    "batch_cobra_cover_times",
+    "batch_bips_infection_times",
+    "DynamicCobraProcess",
+    "DynamicBipsProcess",
+    "EvolvingRegularGraph",
+    "static_provider",
+]

@@ -1,0 +1,95 @@
+"""The pull-only rumour-spreading protocol.
+
+Each round, every **uninformed** vertex contacts one neighbour chosen
+uniformly at random and learns the rumour iff the contact is informed.
+The mirror image of push: fast in the endgame (each straggler keeps
+asking) but slow to ignite from a single source on sparse graphs.
+Completes the classical baseline family (push, pull, push–pull) for
+the E9-style budget comparisons.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro._rng import SeedLike
+from repro.core.process import RoundRecord, SpreadingProcess, resolve_vertex_set
+from repro.graphs.base import Graph
+
+
+class PullProcess(SpreadingProcess):
+    """Pull rumour spreading from an initial informed set.
+
+    Parameters
+    ----------
+    graph:
+        The underlying connected graph.
+    start:
+        Initially informed vertex or vertices.
+    seed:
+        Randomness source.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        start: int | Iterable[int],
+        *,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__(graph, seed=seed)
+        start_vertices = resolve_vertex_set(graph, start, role="start")
+        n = graph.n_vertices
+        self._informed = np.zeros(n, dtype=bool)
+        self._informed[start_vertices] = True
+        self._completion_time: int | None = (
+            0 if int(self._informed.sum()) == n else None
+        )
+
+    @property
+    def active_mask(self) -> np.ndarray:
+        return self._informed.copy()
+
+    @property
+    def active_count(self) -> int:
+        return int(self._informed.sum())
+
+    @property
+    def cumulative_mask(self) -> np.ndarray:
+        return self._informed.copy()
+
+    @property
+    def cumulative_count(self) -> int:
+        return int(self._informed.sum())
+
+    @property
+    def is_complete(self) -> bool:
+        """Whether every vertex is informed."""
+        return self.active_count == self._graph.n_vertices
+
+    @property
+    def completion_time(self) -> int | None:
+        return self._completion_time
+
+    def step(self) -> RoundRecord:
+        """Every uninformed vertex asks one uniform neighbour."""
+        graph = self._graph
+        asking = np.flatnonzero(~self._informed)
+        before = int(self._informed.sum())
+        if asking.size:
+            contacts = graph.sample_neighbors(asking, 1, self._rng).ravel()
+            learned = self._informed[contacts]
+            self._informed[asking[learned]] = True
+        self._round_index += 1
+        after = int(self._informed.sum())
+        if self._completion_time is None and after == graph.n_vertices:
+            self._completion_time = self._round_index
+        return RoundRecord(
+            round_index=self._round_index,
+            active_count=after,
+            cumulative_count=after,
+            newly_reached=after - before,
+            transmissions=int(asking.size),
+        )

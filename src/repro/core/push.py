@@ -1,0 +1,96 @@
+"""The classical randomised rumour-spreading *push* protocol.
+
+Each round, every **informed** vertex pushes the rumour to one
+neighbour chosen uniformly at random; informed vertices stay informed
+forever.  This is the baseline the paper's introduction contrasts COBRA
+against: push covers expanders in ``O(log n)`` rounds but keeps *every*
+informed vertex transmitting every round, whereas COBRA bounds the
+per-vertex transmission duty cycle (a vertex transmits only in rounds
+where it holds a token).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro._rng import SeedLike
+from repro.core.process import RoundRecord, SpreadingProcess, resolve_vertex_set
+from repro.graphs.base import Graph
+
+
+class PushProcess(SpreadingProcess):
+    """Push rumour spreading from an initial informed set.
+
+    Parameters
+    ----------
+    graph:
+        The underlying connected graph.
+    start:
+        Initially informed vertex or vertices.
+    seed:
+        Randomness source.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        start: int | Iterable[int],
+        *,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__(graph, seed=seed)
+        start_vertices = resolve_vertex_set(graph, start, role="start")
+        n = graph.n_vertices
+        self._informed = np.zeros(n, dtype=bool)
+        self._informed[start_vertices] = True
+        self._completion_time: int | None = (
+            0 if int(self._informed.sum()) == n else None
+        )
+
+    @property
+    def active_mask(self) -> np.ndarray:
+        """Mask of informed vertices (informed == active for push)."""
+        return self._informed.copy()
+
+    @property
+    def active_count(self) -> int:
+        return int(self._informed.sum())
+
+    @property
+    def cumulative_mask(self) -> np.ndarray:
+        return self._informed.copy()
+
+    @property
+    def cumulative_count(self) -> int:
+        return int(self._informed.sum())
+
+    @property
+    def is_complete(self) -> bool:
+        """Whether every vertex is informed."""
+        return self.active_count == self._graph.n_vertices
+
+    @property
+    def completion_time(self) -> int | None:
+        """Broadcast time once every vertex is informed, else ``None``."""
+        return self._completion_time
+
+    def step(self) -> RoundRecord:
+        """Every informed vertex pushes to one uniform neighbour."""
+        graph = self._graph
+        informed_vertices = np.flatnonzero(self._informed)
+        targets = graph.sample_neighbors(informed_vertices, 1, self._rng).ravel()
+        before = int(self._informed.sum())
+        self._informed[targets] = True
+        self._round_index += 1
+        after = int(self._informed.sum())
+        if self._completion_time is None and after == graph.n_vertices:
+            self._completion_time = self._round_index
+        return RoundRecord(
+            round_index=self._round_index,
+            active_count=after,
+            cumulative_count=after,
+            newly_reached=after - before,
+            transmissions=int(informed_vertices.size),
+        )

@@ -1,0 +1,160 @@
+"""Runners: drive a process until completion, timeout, or extinction.
+
+These helpers implement the measurement loop every experiment shares:
+step a process until its goal state (coverage / full infection), with a
+safety cap on rounds, optional trace recording, and ensemble sampling
+over independently seeded replicas.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro._rng import SeedLike, spawn_generators
+from repro.core.process import SpreadingProcess, Trace
+from repro.errors import CoverTimeoutError
+from repro.graphs.base import Graph
+
+
+def default_max_rounds(graph: Graph) -> int:
+    """A generous safety cap: ``1000 + 20 n ceil(log2 n)`` rounds.
+
+    Calibration: COBRA/BIPS on expanders complete in ``O(log n)``
+    rounds, a single random walk in ``O(n log n)``; the cap leaves an
+    order of magnitude of slack over the slowest baseline on the
+    graphs the experiments use.
+    """
+    n = graph.n_vertices
+    return 1000 + 20 * n * max(1, math.ceil(math.log2(max(n, 2))))
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of driving a process with :func:`run_process`.
+
+    Attributes
+    ----------
+    completed:
+        Whether the goal state was reached within the round cap.
+    completion_time:
+        Round at which the goal was first reached (``None`` on timeout
+        or extinction).
+    rounds_run:
+        Total rounds executed.
+    extinct:
+        Whether the process hit an absorbing empty state (plain SIS
+        only; always false for the other processes).
+    final_active_count:
+        Active-set size when the run stopped.
+    final_cumulative_count:
+        Cumulative-set size when the run stopped.
+    trace:
+        Per-round records if requested, else ``None``.
+    """
+
+    completed: bool
+    completion_time: int | None
+    rounds_run: int
+    extinct: bool
+    final_active_count: int
+    final_cumulative_count: int
+    trace: Trace | None
+
+
+def run_process(
+    process: SpreadingProcess,
+    *,
+    max_rounds: int | None = None,
+    record_trace: bool = False,
+    raise_on_timeout: bool = False,
+) -> RunResult:
+    """Step ``process`` until completion, extinction, or the round cap.
+
+    Parameters
+    ----------
+    process:
+        A freshly constructed process (already-complete processes
+        return immediately).
+    max_rounds:
+        Safety cap; defaults to :func:`default_max_rounds` of the
+        process's graph.
+    record_trace:
+        Keep per-round records (costs memory proportional to rounds).
+    raise_on_timeout:
+        Raise :class:`~repro.errors.CoverTimeoutError` instead of
+        returning ``completed=False``.
+    """
+    if max_rounds is None:
+        max_rounds = default_max_rounds(process.graph)
+    trace = Trace() if record_trace else None
+    extinct = False
+    while not process.is_complete and process.round_index < max_rounds:
+        record = process.step()
+        if trace is not None:
+            trace.append(record)
+        if record.active_count == 0:
+            extinct = True
+            break
+    completed = process.is_complete
+    if not completed and raise_on_timeout and not extinct:
+        raise CoverTimeoutError(
+            f"{type(process).__name__} on {process.graph.name} did not complete "
+            f"within {max_rounds} rounds (active={process.active_count}, "
+            f"cumulative={process.cumulative_count})"
+        )
+    return RunResult(
+        completed=completed,
+        completion_time=process.completion_time,
+        rounds_run=process.round_index,
+        extinct=extinct,
+        final_active_count=process.active_count,
+        final_cumulative_count=process.cumulative_count,
+        trace=trace,
+    )
+
+
+def sample_completion_times(
+    factory: Callable[[np.random.Generator], SpreadingProcess],
+    n_samples: int,
+    *,
+    seed: SeedLike = None,
+    max_rounds: int | None = None,
+    raise_on_timeout: bool = True,
+) -> np.ndarray:
+    """Completion times of ``n_samples`` independently seeded replicas.
+
+    Parameters
+    ----------
+    factory:
+        Callable building a fresh process from a generator, e.g.
+        ``lambda rng: CobraProcess(graph, 0, seed=rng)``.
+    n_samples:
+        Ensemble size.
+    seed:
+        Master seed; replicas use independent spawned streams.
+    max_rounds:
+        Per-replica round cap.
+    raise_on_timeout:
+        Raise if any replica fails to complete (default), else record
+        ``-1`` for that replica.
+
+    Returns
+    -------
+    numpy.ndarray
+        Integer array of length ``n_samples`` of completion times
+        (``-1`` marks a timeout when ``raise_on_timeout=False``).
+    """
+    if n_samples < 1:
+        raise ValueError(f"n_samples must be >= 1, got {n_samples}")
+    times = np.empty(n_samples, dtype=np.int64)
+    for i, rng in enumerate(spawn_generators(seed, n_samples)):
+        process = factory(rng)
+        result = run_process(
+            process, max_rounds=max_rounds, raise_on_timeout=raise_on_timeout
+        )
+        times[i] = result.completion_time if result.completed else -1
+    return times

@@ -1,0 +1,57 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised deliberately by this library derive from
+:class:`ReproError`, so callers can catch library-level failures with a
+single ``except`` clause while letting programming errors propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class GraphConstructionError(ReproError):
+    """Raised when graph input data is malformed.
+
+    Examples: self-loops, duplicate edges, asymmetric adjacency,
+    vertex indices out of range, or an empty vertex set.
+    """
+
+
+class GraphPropertyError(ReproError):
+    """Raised when a graph lacks a property an operation requires.
+
+    Examples: asking for the regular degree of an irregular graph, or
+    running a spectral routine that requires connectivity on a
+    disconnected graph.
+    """
+
+
+class ProcessError(ReproError):
+    """Raised on invalid process configuration or misuse.
+
+    Examples: a branching factor below 1, a start vertex outside the
+    graph, or stepping a process that has been invalidated.
+    """
+
+
+class CoverTimeoutError(ReproError):
+    """Raised when a process fails to cover/infect within ``max_rounds``.
+
+    Runners raise this only when explicitly asked to treat timeout as an
+    error; by default they return a result object with ``success=False``.
+    """
+
+
+class ExactEngineError(ReproError):
+    """Raised when an exact-distribution computation is infeasible.
+
+    The exact engines enumerate all ``2**n`` vertex subsets and refuse
+    graphs above a size limit rather than exhausting memory.
+    """
+
+
+class ExperimentError(ReproError):
+    """Raised for unknown experiment ids or malformed experiment results."""

@@ -1,0 +1,40 @@
+"""Exact finite-state engines for small graphs.
+
+Both COBRA and BIPS are Markov chains on the power set of vertices, so
+for graphs with at most :data:`~repro.exact.subsets.MAX_EXACT_VERTICES`
+vertices the full distribution over subsets can be evolved exactly
+(bitmask-indexed probability vectors).  This turns the paper's duality
+theorem — an exact identity, not an asymptotic — into a
+machine-precision assertion, and provides ground truth against which
+the Monte-Carlo simulators are validated.
+"""
+
+from repro.exact.bips_exact import ExactBips
+from repro.exact.cobra_exact import ExactCobra
+from repro.exact.cover_exact import ExactCobraCover
+from repro.exact.duality import (
+    MonteCarloDualityPoint,
+    duality_gap,
+    duality_monte_carlo,
+    duality_series,
+)
+from repro.exact.subsets import (
+    MAX_EXACT_VERTICES,
+    mask_from_vertices,
+    popcount_table,
+    vertices_from_mask,
+)
+
+__all__ = [
+    "ExactBips",
+    "ExactCobra",
+    "ExactCobraCover",
+    "duality_gap",
+    "duality_series",
+    "duality_monte_carlo",
+    "MonteCarloDualityPoint",
+    "mask_from_vertices",
+    "vertices_from_mask",
+    "popcount_table",
+    "MAX_EXACT_VERTICES",
+]

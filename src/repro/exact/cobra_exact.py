@@ -1,0 +1,262 @@
+"""Exact distribution evolution for the COBRA set process.
+
+Given ``C_t = C``, the next active set is the union of independent
+random singletons: each vertex ``u ∈ C`` contributes ``k`` uniform
+draws from ``N(u)`` (plus a fractional extra draw).  The exact step
+therefore union-convolves a delta at ``∅`` with one uniform-singleton
+distribution per draw:
+
+``fold(h, u) = Σ_{x ∈ N(u)} (1/d(u)) · (h union {x})``
+
+each an O(2^n · d(u)) reshape pass.  Hitting-time tails — the left-hand
+side of the duality theorem — are computed by evolving a *defective*
+distribution restricted to target-free masks: mass that would land on a
+mask containing the target is dropped (the walk has hit), and the
+surviving total mass after ``t`` steps is ``P(Hit_C(v) > t)``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable
+
+import numpy as np
+
+from repro.core.process import (
+    resolve_vertex,
+    resolve_vertex_set,
+    validate_branching,
+    validate_loss,
+    validate_replacement,
+)
+from repro.exact.subsets import check_size, mask_from_vertices, or_with_bit
+from repro.graphs.base import Graph
+
+#: Cache per-starting-mask one-step rows up to this many vertices.
+ROW_CACHE_LIMIT = 10
+
+
+class ExactCobra:
+    """Exact subset-distribution evolution of COBRA on a small graph.
+
+    Parameters
+    ----------
+    graph:
+        A graph with at most
+        :data:`~repro.exact.subsets.MAX_EXACT_VERTICES` vertices.
+    branching:
+        Branching factor ``k`` (real, ``>= 1``).
+    replacement:
+        With replacement (default, paper semantics) or distinct picks,
+        i.e. each active vertex's choice set is a uniform ``k``-subset
+        (``k+1``-subset with probability ``rho``) of its neighbourhood.
+    loss_probability:
+        Independent per-push loss (extension): each draw contributes
+        its singleton with probability ``1 - loss`` and nothing
+        otherwise.  The empty active set becomes reachable and is
+        treated as absorbing (a dead walk never hits anything).
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        *,
+        branching: float = 2.0,
+        replacement: bool = True,
+        loss_probability: float = 0.0,
+    ) -> None:
+        check_size(graph.n_vertices)
+        self._graph = graph
+        self._n = graph.n_vertices
+        self._size = 1 << self._n
+        self._mandatory, self._rho = validate_branching(branching)
+        validate_replacement(graph, self._mandatory, self._rho, replacement)
+        self._replacement = bool(replacement)
+        self._loss = validate_loss(loss_probability, replacement)
+        self._row_cache: dict[int, np.ndarray] = {}
+        self._choice_law_cache: dict[int, list[tuple[int, float]]] = {}
+
+    @property
+    def graph(self) -> Graph:
+        """The underlying graph."""
+        return self._graph
+
+    # ------------------------------------------------------------------
+    # One-step machinery
+    # ------------------------------------------------------------------
+
+    def _uniform_singleton_fold(self, distribution: np.ndarray, vertex: int) -> np.ndarray:
+        """Union-convolve with one (possibly lost) uniform draw from ``N(vertex)``."""
+        neighbors = self._graph.neighbors(vertex)
+        weight = (1.0 - self._loss) / neighbors.size
+        result = np.zeros_like(distribution)
+        for x in neighbors:
+            result += weight * or_with_bit(distribution, int(x), self._n)
+        if self._loss > 0.0:
+            result += self._loss * distribution
+        return result
+
+    def _distinct_choice_law(self, vertex: int) -> list[tuple[int, float]]:
+        """Without-replacement choice-set law of one vertex.
+
+        A uniform ``k``-subset of ``N(vertex)`` with probability
+        ``1 - rho``, a uniform ``(k+1)``-subset with probability
+        ``rho``; returned as ``(mask, probability)`` pairs.
+        """
+        cached = self._choice_law_cache.get(vertex)
+        if cached is not None:
+            return cached
+        neighbors = [int(v) for v in self._graph.neighbors(vertex)]
+        law: dict[int, float] = {}
+
+        def add_subsets(size: int, weight: float) -> None:
+            subsets = list(itertools.combinations(neighbors, size))
+            probability = weight / len(subsets)
+            for subset in subsets:
+                subset_mask = mask_from_vertices(subset)
+                law[subset_mask] = law.get(subset_mask, 0.0) + probability
+
+        if self._rho > 0.0:
+            add_subsets(self._mandatory, 1.0 - self._rho)
+            add_subsets(self._mandatory + 1, self._rho)
+        else:
+            add_subsets(self._mandatory, 1.0)
+        result = sorted(law.items())
+        self._choice_law_cache[vertex] = result
+        return result
+
+    def _union_fold_with_law(
+        self, distribution: np.ndarray, law: list[tuple[int, float]]
+    ) -> np.ndarray:
+        """Union-convolve a distribution with an arbitrary subset law."""
+        result = np.zeros_like(distribution)
+        for subset_mask, probability in law:
+            contribution = distribution * probability
+            bits = subset_mask
+            position = 0
+            while bits:
+                if bits & 1:
+                    contribution = or_with_bit(contribution, position, self._n)
+                bits >>= 1
+                position += 1
+            result += contribution
+        return result
+
+    def step_distribution(self, mask: int) -> np.ndarray:
+        """Exact distribution of ``C_{t+1}`` given ``C_t = mask``."""
+        if mask <= 0:
+            raise ValueError("COBRA requires a non-empty active set")
+        cached = self._row_cache.get(mask)
+        if cached is not None:
+            return cached
+        distribution = np.zeros(self._size, dtype=np.float64)
+        distribution[0] = 1.0
+        for u in range(self._n):
+            if not (mask >> u) & 1:
+                continue
+            if self._replacement:
+                for _ in range(self._mandatory):
+                    distribution = self._uniform_singleton_fold(distribution, u)
+                if self._rho > 0.0:
+                    branched = self._uniform_singleton_fold(distribution, u)
+                    distribution = (1.0 - self._rho) * distribution + self._rho * branched
+            else:
+                distribution = self._union_fold_with_law(
+                    distribution, self._distinct_choice_law(u)
+                )
+        if self._n <= ROW_CACHE_LIMIT:
+            self._row_cache[mask] = distribution
+        return distribution
+
+    # ------------------------------------------------------------------
+    # Full-law evolution (no absorption)
+    # ------------------------------------------------------------------
+
+    def initial_distribution(self, start: int | Iterable[int]) -> np.ndarray:
+        """Delta at ``C_0 = start``."""
+        vertices = resolve_vertex_set(self._graph, start, role="start")
+        distribution = np.zeros(self._size, dtype=np.float64)
+        distribution[mask_from_vertices(vertices.tolist())] = 1.0
+        return distribution
+
+    def evolve(self, distribution: np.ndarray, steps: int = 1) -> np.ndarray:
+        """Evolve a subset distribution ``steps`` rounds forward."""
+        if steps < 0:
+            raise ValueError(f"steps must be non-negative, got {steps}")
+        current = np.asarray(distribution, dtype=np.float64).copy()
+        if current.shape != (self._size,):
+            raise ValueError(
+                f"distribution must have shape ({self._size},), got {current.shape}"
+            )
+        for _ in range(steps):
+            next_distribution = np.zeros_like(current)
+            for mask in np.flatnonzero(current > 0.0):
+                mask = int(mask)
+                if mask == 0:
+                    # A dead walk (all messages lost) stays dead.
+                    next_distribution[0] += current[0]
+                    continue
+                next_distribution += current[mask] * self.step_distribution(mask)
+            current = next_distribution
+        return current
+
+    def distribution_at(self, start: int | Iterable[int], t: int) -> np.ndarray:
+        """Exact law of ``C_t`` from ``C_0 = start``."""
+        return self.evolve(self.initial_distribution(start), t)
+
+    def occupation_probabilities(self, start: int | Iterable[int], t: int) -> np.ndarray:
+        """``P(u ∈ C_t)`` for every vertex ``u`` (length-`n` array).
+
+        With ``branching = 1`` and a single start vertex this equals the
+        ``t``-step law of a simple random walk — a cross-check used by
+        the test suite.
+        """
+        distribution = self.distribution_at(start, t)
+        all_masks = np.arange(self._size, dtype=np.int64)
+        return np.array(
+            [
+                float(distribution[(all_masks >> u) & 1 == 1].sum())
+                for u in range(self._n)
+            ]
+        )
+
+    # ------------------------------------------------------------------
+    # Hitting-time tails (duality LHS)
+    # ------------------------------------------------------------------
+
+    def hitting_survival_series(
+        self, start: int | Iterable[int], target: int, t_max: int
+    ) -> np.ndarray:
+        """``P(Hit_C(v) > t)`` for ``t = 0 .. t_max``.
+
+        ``Hit_C(v) = min{t : v ∈ C_t, C_0 = C}`` with round 0 counting,
+        exactly as in the paper.
+        """
+        target = resolve_vertex(self._graph, target, role="target")
+        if t_max < 0:
+            raise ValueError(f"t_max must be non-negative, got {t_max}")
+        target_bit = 1 << target
+        all_masks = np.arange(self._size, dtype=np.int64)
+        target_free = (all_masks & target_bit) == 0
+
+        survival = np.empty(t_max + 1, dtype=np.float64)
+        defective = self.initial_distribution(start)
+        defective[~target_free] = 0.0
+        survival[0] = float(defective.sum())
+        for t in range(1, t_max + 1):
+            next_defective = np.zeros_like(defective)
+            for mask in np.flatnonzero(defective > 0.0):
+                mask = int(mask)
+                if mask == 0:
+                    # A dead walk never hits the target: permanent survival.
+                    next_defective[0] += defective[0]
+                    continue
+                next_defective += defective[mask] * self.step_distribution(mask)
+            next_defective[~target_free] = 0.0
+            defective = next_defective
+            survival[t] = float(defective.sum())
+        return survival
+
+    def hitting_survival(self, start: int | Iterable[int], target: int, t: int) -> float:
+        """``P(Hit_C(v) > t)`` for a single ``t``."""
+        return float(self.hitting_survival_series(start, target, t)[t])

@@ -1,0 +1,117 @@
+"""Bitmask subset algebra underlying the exact engines.
+
+A subset ``S ⊆ {0, .., n-1}`` is the integer mask ``Σ_{u ∈ S} 2^u``;
+a distribution over subsets is a length-``2^n`` float vector indexed by
+mask.  The two fold operations here are the building blocks of the
+exact process steps:
+
+* :func:`bernoulli_fold` — extend a distribution by one independent
+  Bernoulli vertex (used by the exact BIPS step, whose next state is a
+  product of per-vertex Bernoullis);
+* :func:`or_with_bit` — the union-convolution of a distribution with a
+  deterministic singleton ``{x}`` (used by the exact COBRA step, whose
+  next state is a union of uniformly chosen singletons).
+
+Both are implemented as reshapes so each fold is O(2^n) NumPy work.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Iterable
+
+import numpy as np
+
+from repro.errors import ExactEngineError
+
+#: Hard ceiling on exact-engine graph sizes (2^n-state vectors).
+MAX_EXACT_VERTICES = 16
+
+
+def check_size(n_vertices: int, *, limit: int = MAX_EXACT_VERTICES) -> None:
+    """Refuse graphs whose power set would not fit in memory/time."""
+    if n_vertices > limit:
+        raise ExactEngineError(
+            f"exact engines enumerate 2^n subsets; n={n_vertices} exceeds the "
+            f"limit of {limit} vertices"
+        )
+
+
+def mask_from_vertices(vertices: Iterable[int]) -> int:
+    """Bitmask of a vertex collection (duplicates are harmless)."""
+    mask = 0
+    for vertex in vertices:
+        if vertex < 0:
+            raise ValueError(f"vertex indices must be non-negative, got {vertex}")
+        mask |= 1 << int(vertex)
+    return mask
+
+
+def vertices_from_mask(mask: int) -> list[int]:
+    """Sorted vertex list encoded by ``mask``."""
+    if mask < 0:
+        raise ValueError(f"mask must be non-negative, got {mask}")
+    vertices = []
+    position = 0
+    while mask:
+        if mask & 1:
+            vertices.append(position)
+        mask >>= 1
+        position += 1
+    return vertices
+
+
+@lru_cache(maxsize=32)
+def popcount_table(n_bits: int) -> np.ndarray:
+    """Popcounts of all masks ``0 .. 2^n_bits - 1`` (cached, read-only)."""
+    check_size(n_bits)
+    table = np.zeros(1, dtype=np.int64)
+    for _ in range(n_bits):
+        table = np.concatenate([table, table + 1])
+    table.flags.writeable = False
+    return table
+
+
+def _as_bit_view(vector: np.ndarray, bit: int, n_bits: int) -> np.ndarray:
+    """Reshape a ``2^n``-vector so axis 1 is the given bit (0 = low bit)."""
+    low = 1 << bit
+    high = 1 << (n_bits - bit - 1)
+    return vector.reshape(high, 2, low)
+
+
+def bernoulli_fold(distribution: np.ndarray, bit: int, probability: float, n_bits: int) -> np.ndarray:
+    """Fold an independent Bernoulli vertex into a subset distribution.
+
+    Requires (and assumes) that the input places no mass on masks with
+    ``bit`` already set — the exact BIPS step folds each vertex exactly
+    once, so the precondition holds by construction.
+    """
+    view = _as_bit_view(distribution, bit, n_bits)
+    out = np.empty_like(view)
+    out[:, 0, :] = view[:, 0, :] * (1.0 - probability)
+    out[:, 1, :] = view[:, 0, :] * probability
+    return out.reshape(-1)
+
+
+def or_with_bit(distribution: np.ndarray, bit: int, n_bits: int) -> np.ndarray:
+    """Union-convolve a subset distribution with the deterministic set ``{bit}``.
+
+    Returns the distribution of ``S ∪ {x}`` where ``S`` follows the
+    input distribution: all mass moves to the bit-set half.
+    """
+    view = _as_bit_view(distribution, bit, n_bits)
+    out = np.zeros_like(view)
+    out[:, 1, :] = view[:, 0, :] + view[:, 1, :]
+    return out.reshape(-1)
+
+
+def masks_disjoint_from(mask: int, n_bits: int) -> np.ndarray:
+    """Boolean selector over all ``2^n_bits`` masks: disjoint from ``mask``."""
+    all_masks = np.arange(1 << n_bits, dtype=np.int64)
+    return (all_masks & mask) == 0
+
+
+def masks_containing(vertex: int, n_bits: int) -> np.ndarray:
+    """Boolean selector over all masks: those containing ``vertex``."""
+    all_masks = np.arange(1 << n_bits, dtype=np.int64)
+    return (all_masks >> vertex) & 1 == 1

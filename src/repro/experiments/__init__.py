@@ -1,0 +1,87 @@
+"""Experiment registry: one module per paper claim, keyed ``E1`` .. ``E10``.
+
+Each module exposes ``SPEC`` (an
+:class:`~repro.experiments.spec.ExperimentSpec`) and
+``run(mode="quick"|"full", seed=0) -> ExperimentResult``.  Use
+:func:`get_experiment` / :func:`run_experiment` for access by id, or
+the CLI (``python -m repro``).
+"""
+
+from __future__ import annotations
+
+from types import ModuleType
+
+from repro.errors import ExperimentError
+from repro.experiments import (
+    e1_cover_expanders,
+    e2_bips_infection,
+    e3_fractional_branching,
+    e4_duality,
+    e5_growth_bound,
+    e6_phases,
+    e7_baselines,
+    e8_spectral_sweep,
+    e9_branching_sweep,
+    e10_persistence_ablation,
+    e11_whp_tails,
+    e12_dynamic_graphs,
+    e13_message_loss,
+)
+from repro.experiments.results import ExperimentResult
+from repro.experiments.spec import ExperimentSpec
+
+#: Registry of experiment modules in presentation order.
+REGISTRY: dict[str, ModuleType] = {
+    module.SPEC.experiment_id: module
+    for module in (
+        e1_cover_expanders,
+        e2_bips_infection,
+        e3_fractional_branching,
+        e4_duality,
+        e5_growth_bound,
+        e6_phases,
+        e7_baselines,
+        e8_spectral_sweep,
+        e9_branching_sweep,
+        e10_persistence_ablation,
+        e11_whp_tails,
+        e12_dynamic_graphs,
+        e13_message_loss,
+    )
+}
+
+
+def experiment_ids() -> list[str]:
+    """All registered experiment ids, in presentation order."""
+    return list(REGISTRY)
+
+
+def get_experiment(experiment_id: str) -> ModuleType:
+    """The experiment module for an id (case-insensitive)."""
+    module = REGISTRY.get(experiment_id.upper())
+    if module is None:
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; known ids: {', '.join(REGISTRY)}"
+        )
+    return module
+
+
+def get_spec(experiment_id: str) -> ExperimentSpec:
+    """The :class:`ExperimentSpec` for an id."""
+    return get_experiment(experiment_id).SPEC
+
+
+def run_experiment(experiment_id: str, *, mode: str = "quick", seed: int = 0) -> ExperimentResult:
+    """Run one experiment by id and return its result."""
+    return get_experiment(experiment_id).run(mode=mode, seed=seed)
+
+
+__all__ = [
+    "REGISTRY",
+    "experiment_ids",
+    "get_experiment",
+    "get_spec",
+    "run_experiment",
+    "ExperimentResult",
+    "ExperimentSpec",
+]

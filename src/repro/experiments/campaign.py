@@ -1,0 +1,137 @@
+"""Campaigns: batches of experiment runs with a saved manifest.
+
+A campaign is a declarative list of experiment runs — which ids, which
+mode, which seeds — executed in order with every result saved to disk
+next to a manifest recording what was run, when, and where each result
+landed.  This is the reproducibility wrapper around the registry:
+``EXPERIMENTS.md`` numbers come from a one-line campaign.
+
+Example::
+
+    from repro.experiments.campaign import Campaign, run_campaign
+
+    campaign = Campaign(
+        name="full-reproduction",
+        entries=[CampaignEntry(experiment_id=eid, mode="full", seed=0)
+                 for eid in experiment_ids()],
+    )
+    manifest = run_campaign(campaign, "results/")
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.errors import ExperimentError
+from repro.experiments import get_spec, run_experiment
+
+
+@dataclass(frozen=True)
+class CampaignEntry:
+    """One experiment run within a campaign."""
+
+    experiment_id: str
+    mode: str = "quick"
+    seed: int = 0
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form for the manifest."""
+        return {"experiment_id": self.experiment_id, "mode": self.mode, "seed": self.seed}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "CampaignEntry":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            experiment_id=data["experiment_id"],
+            mode=data.get("mode", "quick"),
+            seed=int(data.get("seed", 0)),
+        )
+
+
+@dataclass
+class Campaign:
+    """A named, ordered batch of experiment runs."""
+
+    name: str
+    entries: list[CampaignEntry] = field(default_factory=list)
+
+    def validate(self) -> None:
+        """Fail fast on unknown ids or modes before any work is done."""
+        if not self.name:
+            raise ExperimentError("campaign name must be non-empty")
+        if not self.entries:
+            raise ExperimentError(f"campaign {self.name!r} has no entries")
+        for entry in self.entries:
+            get_spec(entry.experiment_id)  # raises on unknown id
+            if entry.mode not in ("quick", "full"):
+                raise ExperimentError(
+                    f"campaign entry {entry.experiment_id}: mode must be "
+                    f"'quick' or 'full', got {entry.mode!r}"
+                )
+
+    @classmethod
+    def from_json(cls, text: str) -> "Campaign":
+        """Parse a campaign description (``{"name": ..., "entries": [...]}``)."""
+        try:
+            data = json.loads(text)
+            campaign = cls(
+                name=data["name"],
+                entries=[CampaignEntry.from_dict(entry) for entry in data["entries"]],
+            )
+        except (KeyError, TypeError, json.JSONDecodeError) as error:
+            raise ExperimentError(f"malformed campaign description: {error}") from None
+        campaign.validate()
+        return campaign
+
+    def to_json(self) -> str:
+        """Serialise the campaign description."""
+        return json.dumps(
+            {"name": self.name, "entries": [entry.to_dict() for entry in self.entries]},
+            indent=2,
+        )
+
+
+def run_campaign(
+    campaign: Campaign,
+    output_dir: str | Path,
+    *,
+    progress: Callable[[str], None] | None = None,
+) -> dict[str, Any]:
+    """Execute a campaign, saving each result and a manifest.
+
+    Results land in ``output_dir/<campaign-name>/`` as
+    ``<eid>_<mode>_s<seed>.json`` (plus ``.txt`` renders); the manifest
+    ``manifest.json`` records entries, file names, wall-clock
+    durations, and headline findings.  Returns the manifest dict.
+    """
+    campaign.validate()
+    directory = Path(output_dir) / campaign.name
+    directory.mkdir(parents=True, exist_ok=True)
+    manifest: dict[str, Any] = {
+        "campaign": campaign.name,
+        "entries": [],
+    }
+    for entry in campaign.entries:
+        if progress is not None:
+            progress(f"running {entry.experiment_id} ({entry.mode}, seed {entry.seed})")
+        started = time.perf_counter()
+        result = run_experiment(entry.experiment_id, mode=entry.mode, seed=entry.seed)
+        elapsed = time.perf_counter() - started
+        stem = f"{entry.experiment_id.lower()}_{entry.mode}_s{entry.seed}"
+        result.save(directory / f"{stem}.json")
+        (directory / f"{stem}.txt").write_text(result.render() + "\n")
+        manifest["entries"].append(
+            {
+                **entry.to_dict(),
+                "result_json": f"{stem}.json",
+                "result_text": f"{stem}.txt",
+                "seconds": round(elapsed, 2),
+                "findings": result.findings,
+            }
+        )
+    (directory / "manifest.json").write_text(json.dumps(manifest, indent=2))
+    return manifest

@@ -1,0 +1,186 @@
+"""E11 — the "with high probability" clause of Theorems 1 and 2.
+
+The theorems claim their round counts hold w.h.p. — failure probability
+``O(n^{-c})`` — via the restart argument of Eq. (1): each window of
+``T`` rounds succeeds with constant probability, so
+``P(cov > j T) <= q^j`` decays geometrically.  This experiment measures
+the upper tail of the cover/infection-time distribution directly:
+
+* large completion-time ensembles on a fixed expander → empirical
+  survival functions and a geometric-tail fit (``log P(X > t)`` should
+  be linear in ``t``, i.e. a straight tail);
+* tail quantiles across the `n` ladder: the 99th percentile should
+  track the mean with a bounded additive offset (max/mean → 1), not a
+  multiplicative blow-up — the signature of concentration.
+
+On tiny graphs, the exact cover-time law (`repro.exact.ExactCobraCover`)
+confirms the geometric decay with no sampling error at all.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.ascii_plot import ascii_plot
+from repro.analysis.tables import Table
+from repro.analysis.tails import (
+    empirical_survival,
+    fit_geometric_tail,
+    restart_expectation_bound,
+)
+from repro.core.bips import BipsProcess
+from repro.core.cobra import CobraProcess
+from repro.core.runner import sample_completion_times
+from repro.exact.cover_exact import ExactCobraCover
+from repro.experiments.results import ExperimentResult
+from repro.experiments.spec import ExperimentSpec
+from repro.experiments.sweep import expander_with_gap
+from repro.graphs.generators import complete
+
+SPEC = ExperimentSpec(
+    experiment_id="E11",
+    title="High-probability tails of cover and infection times",
+    claim=(
+        "cov and infec hold w.h.p.: the restart argument (Eq. (1)) makes their "
+        "upper tails decay geometrically, so quantiles track the mean"
+    ),
+    paper_reference="Theorems 1-3 (w.h.p. clauses) and Eq. (1)",
+)
+
+TAIL_GRAPH_N = 1024
+TAIL_GRAPH_R = 8
+QUICK_TAIL_SAMPLES = 2000
+FULL_TAIL_SAMPLES = 10000
+QUICK_LADDER = (256, 512, 1024, 2048)
+FULL_LADDER = (256, 512, 1024, 2048, 4096)
+QUICK_LADDER_SAMPLES = 200
+FULL_LADDER_SAMPLES = 500
+
+
+def run(mode: str = "quick", seed: int = 0) -> ExperimentResult:
+    """Run E11 and return its tables and findings."""
+    if mode == "quick":
+        tail_samples, ladder, ladder_samples = (
+            QUICK_TAIL_SAMPLES,
+            QUICK_LADDER,
+            QUICK_LADDER_SAMPLES,
+        )
+    elif mode == "full":
+        tail_samples, ladder, ladder_samples = (
+            FULL_TAIL_SAMPLES,
+            FULL_LADDER,
+            FULL_LADDER_SAMPLES,
+        )
+    else:
+        raise ValueError(f"mode must be 'quick' or 'full', got {mode!r}")
+
+    # --- geometric tails on a fixed expander ---------------------------
+    graph, lam = expander_with_gap(TAIL_GRAPH_N, TAIL_GRAPH_R, seed=seed)
+    tails = Table(
+        ["process", "samples", "mean", "p99", "max", "tail rate / round", "halving time"]
+    )
+    rates: dict[str, float] = {}
+    survival_series: dict[str, tuple[list[float], list[float]]] = {}
+    cobra_mean = cobra_p99 = float("nan")
+    for label, factory in (
+        ("COBRA k=2", lambda rng: CobraProcess(graph, 0, seed=rng)),
+        ("BIPS k=2", lambda rng: BipsProcess(graph, 0, seed=rng)),
+    ):
+        times = sample_completion_times(factory, tail_samples, seed=(seed, len(label)))
+        fit = fit_geometric_tail(times, threshold_quantile=0.5)
+        rates[label] = fit.rate
+        mean = float(times.mean())
+        p99 = float(np.percentile(times, 99))
+        if label.startswith("COBRA"):
+            cobra_mean, cobra_p99 = mean, p99
+        values, survival = empirical_survival(times)
+        positive = survival > 0
+        survival_series[label] = (
+            values[positive].tolist(),
+            survival[positive].tolist(),
+        )
+        tails.add_row(
+            [label, tail_samples, mean, p99, int(times.max()), fit.rate, fit.halving_time]
+        )
+    survival_figure = ascii_plot(
+        survival_series,
+        log_y=True,
+        title=(
+            f"E11: survival P(time > t), n={TAIL_GRAPH_N} expander "
+            "(straight line on log y = geometric tail)"
+        ),
+        x_label="t (rounds)",
+        y_label="P(X > t)",
+    )
+
+    # --- concentration across the ladder --------------------------------
+    concentration = Table(["n", "mean cov", "p99", "max", "p99/mean", "max/mean"])
+    spreads: list[float] = []
+    for offset, n in enumerate(ladder):
+        ladder_graph, _ = expander_with_gap(n, TAIL_GRAPH_R, seed=seed + 50 + offset)
+        times = sample_completion_times(
+            lambda rng: CobraProcess(ladder_graph, 0, seed=rng),
+            ladder_samples,
+            seed=(seed, n, 111),
+        )
+        mean = float(times.mean())
+        p99 = float(np.percentile(times, 99))
+        spread = float(times.max()) / mean
+        spreads.append(spread)
+        concentration.add_row([n, mean, p99, int(times.max()), p99 / mean, spread])
+
+    # --- exact tail on a tiny graph -------------------------------------
+    exact_engine = ExactCobraCover(complete(7))
+    pmf, tail_mass = exact_engine.cover_time_distribution(0, t_max=60)
+    survival = 1.0 - np.cumsum(pmf)
+    # Per-round decay ratio of the exact survival once past the bulk.
+    usable = np.flatnonzero(survival > 1e-12)
+    late = usable[usable >= 10]
+    exact_ratios = survival[late[1:]] / survival[late[:-1]]
+    exact_table = Table(["quantity", "value"], float_format="%.6g")
+    exact_table.add_row(["E[cov] (exact, K7)", exact_engine.expected_cover_time(0)])
+    exact_table.add_row(["exact tail ratio, min over t>=10", float(exact_ratios.min())])
+    exact_table.add_row(["exact tail ratio, max over t>=10", float(exact_ratios.max())])
+    # Eq. (1) sanity: windows of T = p99 fail with q <= 0.01, so the
+    # restart bound T/(1-q)^2 must dominate the measured mean.
+    eq1_bound = restart_expectation_bound(cobra_p99, 0.01)
+    exact_table.add_row(["Eq.(1) bound with T = COBRA p99, q = 0.01", eq1_bound])
+    exact_table.add_row(["measured COBRA mean (must be below)", cobra_mean])
+
+    max_spread_growth = max(spreads) / min(spreads)
+    findings = [
+        (
+            f"upper tails are geometric: per-round decay rates "
+            f"{rates['COBRA k=2']:.3f} (COBRA) and {rates['BIPS k=2']:.3f} (BIPS) "
+            f"on the n={TAIL_GRAPH_N} expander — straight lines on log-survival axes"
+        ),
+        (
+            f"concentration across the ladder: max/mean stays within "
+            f"[{min(spreads):.2f}, {max(spreads):.2f}] (ratio {max_spread_growth:.2f}) — "
+            "no heavy tail opens up as n grows, as the w.h.p. clause requires"
+        ),
+        (
+            "the exact K7 cover law decays at an asymptotically constant "
+            f"per-round ratio ({float(exact_ratios.min()):.4f}.."
+            f"{float(exact_ratios.max()):.4f} for t >= 10), the restart argument's "
+            "geometric signature with zero sampling noise"
+        ),
+    ]
+    return ExperimentResult(
+        spec=SPEC,
+        mode=mode,
+        seed=seed,
+        parameters={
+            "tail_graph": {"n": TAIL_GRAPH_N, "r": TAIL_GRAPH_R, "lambda": lam},
+            "tail_samples": tail_samples,
+            "ladder": list(ladder),
+            "ladder_samples": ladder_samples,
+        },
+        tables={
+            "geometric tail fits": tails,
+            "concentration across n": concentration,
+            "exact tail (K7)": exact_table,
+        },
+        figures={"log-survival": survival_figure},
+        findings=findings,
+    )

@@ -1,0 +1,199 @@
+"""E13 — extension: COBRA and BIPS under independent message loss.
+
+Real gossip deployments drop messages.  The extension thins every
+push/contact independently with probability ``p`` and asks two
+questions the paper's machinery answers:
+
+* **Does the duality survive?**  Yes, exactly: thinning the choice
+  sets preserves the two properties the Theorem 4 proof needs
+  (identical per-vertex choice-set laws, independence across
+  vertices).  Verified to float precision by the exact engines.
+* **What does loss cost?**  An effective branching reduction: COBRA
+  with branching `k` and loss `p` pushes `(1−p)k` surviving messages
+  per token on average, so by the Theorem 3 lens the process stays
+  logarithmic while ``(1−p)k > 1`` — but unlike the lossless process
+  it can *die* (all messages of all tokens lost in one round), which
+  the experiment quantifies alongside the slowdown.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._rng import spawn_generators
+from repro.analysis.stats import proportion_ci, summarize
+from repro.analysis.tables import Table
+from repro.core.bips import BipsProcess
+from repro.core.cobra import CobraProcess
+from repro.core.runner import run_process
+from repro.exact.duality import duality_gap
+from repro.experiments.results import ExperimentResult
+from repro.experiments.spec import ExperimentSpec
+from repro.experiments.sweep import expander_with_gap
+from repro.graphs.generators import complete, cycle, petersen
+
+SPEC = ExperimentSpec(
+    experiment_id="E13",
+    title="Message loss (extension): lossy COBRA/BIPS and their duality",
+    claim=(
+        "independent per-message loss preserves the COBRA<->BIPS duality exactly, "
+        "and costs an effective branching reduction k -> (1-p)k plus a death "
+        "probability for COBRA"
+    ),
+    paper_reference="extension of Theorems 3 and 4 (choice-set thinning)",
+)
+
+GRAPH_N = 1024
+GRAPH_R = 8
+#: Supercritical loss rates: effective branching (1-p)k stays above 1.
+LOSS_RATES = (0.0, 0.1, 0.25, 0.4)
+#: The (1-p)k = 1 threshold for k = 2 sits at p = 1/2; sweep across it.
+CRITICAL_SWEEP = (0.40, 0.45, 0.50, 0.55, 0.60)
+QUICK_SAMPLES = 200
+FULL_SAMPLES = 1000
+ROUND_CAP = 3000
+EXACT_T_MAX = 10
+
+
+def run(mode: str = "quick", seed: int = 0) -> ExperimentResult:
+    """Run E13 and return its tables and findings."""
+    if mode == "quick":
+        samples = QUICK_SAMPLES
+    elif mode == "full":
+        samples = FULL_SAMPLES
+    else:
+        raise ValueError(f"mode must be 'quick' or 'full', got {mode!r}")
+
+    # --- exact lossy duality --------------------------------------------
+    exact = Table(
+        ["graph", "branching", "loss p", "max |LHS - RHS|"], float_format="%.2e"
+    )
+    worst_gap = 0.0
+    for label, graph, start, source in (
+        ("petersen", petersen(), [0], 7),
+        ("K6", complete(6), [1, 2], 4),
+        ("C9", cycle(9), [0], 5),
+    ):
+        for branching in (1.5, 2.0):
+            for loss in (0.1, 0.3, 0.6):
+                gap = duality_gap(
+                    graph,
+                    start,
+                    source,
+                    EXACT_T_MAX,
+                    branching=branching,
+                    loss_probability=loss,
+                )
+                worst_gap = max(worst_gap, gap)
+                exact.add_row([label, branching, loss, gap])
+
+    # --- cost of loss on an expander -------------------------------------
+    graph, lam = expander_with_gap(GRAPH_N, GRAPH_R, seed=seed)
+    cost = Table(
+        [
+            "loss p",
+            "effective k",
+            "COBRA mean cov",
+            "COBRA died",
+            "P(death) 95% CI",
+            "BIPS mean reach-all",
+        ]
+    )
+    cobra_means: dict[float, float] = {}
+    for loss in LOSS_RATES:
+        cover_times: list[int] = []
+        deaths = 0
+        for rng in spawn_generators((seed, int(loss * 100), 131), samples):
+            process = CobraProcess(graph, 0, branching=2.0, loss_probability=loss, seed=rng)
+            result = run_process(process, max_rounds=ROUND_CAP)
+            if result.completed:
+                cover_times.append(result.completion_time)
+            elif result.extinct:
+                deaths += 1
+        # BIPS under loss: the full state is no longer absorbing (a
+        # saturated vertex keeps its infection only w.p. 1 - p^k), so
+        # simultaneous full infection effectively never occurs at
+        # moderate p.  The meaningful coverage metric — and the dual of
+        # COBRA's cover — is the first round by which every vertex has
+        # been infected at least once.
+        reach_all_times: list[int] = []
+        for rng in spawn_generators((seed, int(loss * 100), 132), max(samples // 4, 25)):
+            process = BipsProcess(graph, 0, branching=2.0, loss_probability=loss, seed=rng)
+            while process.cumulative_count < GRAPH_N and process.round_index < ROUND_CAP:
+                process.step()
+            if process.cumulative_count < GRAPH_N:
+                raise RuntimeError("lossy BIPS failed to reach every vertex in the cap")
+            reach_all_times.append(process.round_index)
+        ci = proportion_ci(deaths, samples)
+        cover_mean = summarize(cover_times).mean if cover_times else float("nan")
+        cobra_means[loss] = cover_mean
+        cost.add_row(
+            [
+                loss,
+                2.0 * (1.0 - loss),
+                cover_mean,
+                f"{deaths}/{samples}",
+                f"[{ci[0]:.3f}, {ci[1]:.3f}]",
+                summarize(reach_all_times).mean,
+            ]
+        )
+
+    # --- the criticality transition at (1-p)k = 1 -------------------------
+    transition = Table(
+        ["loss p", "effective k", "covered", "died", "P(cover)"]
+    )
+    for loss in CRITICAL_SWEEP:
+        covered = 0
+        died = 0
+        for rng in spawn_generators((seed, int(loss * 1000), 133), samples):
+            process = CobraProcess(graph, 0, branching=2.0, loss_probability=loss, seed=rng)
+            result = run_process(process, max_rounds=ROUND_CAP)
+            if result.completed:
+                covered += 1
+            elif result.extinct:
+                died += 1
+        transition.add_row(
+            [loss, 2.0 * (1.0 - loss), covered, died, covered / samples]
+        )
+
+    slowdown = cobra_means[LOSS_RATES[-1]] / cobra_means[0.0]
+    cover_probabilities = dict(
+        zip(transition.column("loss p"), transition.column("P(cover)"))
+    )
+    findings = [
+        f"the duality holds exactly under loss: worst gap {worst_gap:.2e} "
+        "across graphs, branchings and loss rates (float noise)",
+        (
+            f"loss is an effective branching reduction: at p = {LOSS_RATES[-1]} "
+            f"(effective k = {2 * (1 - LOSS_RATES[-1]):.1f}) mean cover is "
+            f"x{slowdown:.1f} the lossless time, mirroring Theorem 3's 1/rho slope"
+        ),
+        (
+            f"a phase transition sits at (1-p)k = 1 (p = 0.5 for k = 2): cover "
+            f"probability drops from {cover_probabilities[0.40]:.2f} at p = 0.40 to "
+            f"{cover_probabilities[0.60]:.2f} at p = 0.60 — below threshold the token "
+            "population dies before covering, Theorem 3's rho > 0 condition seen "
+            "from the other side"
+        ),
+        "loss destroys BIPS's absorbing full state (a saturated vertex keeps its "
+        "infection only w.p. 1 - p^k), so the reach-every-vertex time replaces "
+        "infec(v) as the coverage metric — and it stays logarithmic",
+    ]
+    return ExperimentResult(
+        spec=SPEC,
+        mode=mode,
+        seed=seed,
+        parameters={
+            "n": GRAPH_N,
+            "r": GRAPH_R,
+            "lambda": lam,
+            "loss_rates": list(LOSS_RATES),
+            "samples": samples,
+        },
+        tables={
+            "exact lossy duality": exact,
+            "cost of loss": cost,
+            "criticality transition": transition,
+        },
+        findings=findings,
+    )

@@ -1,0 +1,109 @@
+"""E4 — Theorem 4: the COBRA/BIPS duality, exact and Monte-Carlo.
+
+Two tiers of verification:
+
+* **Exact** (small graphs): evolve the full subset distributions of
+  both processes and compare ``P̂(Hit_C(v) > t)`` with
+  ``P(C ∩ A_t = ∅)`` for every ``t`` up to a horizon.  A correct
+  implementation leaves only float rounding (``~1e-12``).  Run for
+  integer and fractional branching, on regular graphs (the paper's
+  setting) and an irregular one (the identity holds there too — the
+  proof never uses regularity; reported as an observation).
+* **Monte-Carlo** (a 200-vertex expander, beyond exact reach): estimate
+  both sides by simulation and check agreement within Wilson 95%
+  intervals.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.tables import Table
+from repro.exact.duality import duality_gap, duality_monte_carlo
+from repro.experiments.results import ExperimentResult
+from repro.experiments.spec import ExperimentSpec
+from repro.graphs.base import Graph
+from repro.graphs.generators import complete, cycle, path, petersen, random_regular
+
+SPEC = ExperimentSpec(
+    experiment_id="E4",
+    title="COBRA <-> BIPS duality",
+    claim=(
+        "P(Hit_C(v) > t | C_0 = C) for COBRA equals P(C cap A_t = empty | A_0 = {v}) "
+        "for BIPS, for every C, v, t and branching factor k"
+    ),
+    paper_reference="Theorem 4",
+)
+
+QUICK_TRIALS = 2000
+FULL_TRIALS = 20000
+EXACT_T_MAX = 12
+
+
+def _exact_cases(seed: int) -> list[tuple[str, Graph, list[int], int]]:
+    """(label, graph, start set C, source v) tuples for the exact tier."""
+    return [
+        ("petersen, C={0}", petersen(), [0], 7),
+        ("petersen, |C|=3", petersen(), [0, 3, 8], 5),
+        ("complete K7", complete(7), [1], 4),
+        ("cycle C9", cycle(9), [0, 2], 6),
+        ("random 3-regular n=10", random_regular(10, 3, seed=seed), [0], 9),
+        ("path n=6 (irregular)", path(6), [0], 5),
+    ]
+
+
+def run(mode: str = "quick", seed: int = 0) -> ExperimentResult:
+    """Run E4 and return its tables and findings."""
+    if mode == "quick":
+        trials = QUICK_TRIALS
+    elif mode == "full":
+        trials = FULL_TRIALS
+    else:
+        raise ValueError(f"mode must be 'quick' or 'full', got {mode!r}")
+
+    exact = Table(["case", "branching k", "t_max", "max |LHS - RHS|"], float_format="%.2e")
+    worst_gap = 0.0
+    for label, graph, start, source in _exact_cases(seed):
+        for branching in (1.0, 1.5, 2.0, 3.0):
+            gap = duality_gap(graph, start, source, EXACT_T_MAX, branching=branching)
+            worst_gap = max(worst_gap, gap)
+            exact.add_row([label, branching, EXACT_T_MAX, gap])
+
+    mc_graph = random_regular(200, 6, seed=seed + 17)
+    start, source = 0, 117
+    monte_carlo = Table(
+        ["t", "COBRA P(Hit>t)", "BIPS P(u not in A_t)", "|diff|", "CI overlap"]
+    )
+    points = duality_monte_carlo(
+        mc_graph, start, source, (1, 2, 3, 5, 8), trials=trials, seed=seed
+    )
+    all_overlap = True
+    for point in points:
+        all_overlap = all_overlap and point.intervals_overlap
+        monte_carlo.add_row(
+            [
+                point.t,
+                point.cobra_estimate,
+                point.bips_estimate,
+                point.difference,
+                point.intervals_overlap,
+            ]
+        )
+
+    findings = [
+        f"exact duality gap over all cases and branchings: {worst_gap:.2e} (float noise)",
+        "the identity also holds exactly on an irregular graph (path n=6) — the paper "
+        "proves it for regular graphs but the argument never uses regularity",
+        (
+            "Monte-Carlo estimates on a 200-vertex 6-regular expander "
+            + ("agree within 95% Wilson intervals at every t" if all_overlap else "DISAGREE")
+        ),
+    ]
+    return ExperimentResult(
+        spec=SPEC,
+        mode=mode,
+        seed=seed,
+        parameters={"exact_t_max": EXACT_T_MAX, "mc_trials": trials, "mc_graph_n": 200},
+        tables={"exact verification": exact, "monte-carlo verification": monte_carlo},
+        findings=findings,
+    )

@@ -1,0 +1,105 @@
+"""Experiment result records: tables + figures + findings, JSON-round-trippable."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.analysis.tables import Table
+from repro.errors import ExperimentError
+from repro.experiments.spec import ExperimentSpec
+
+
+@dataclass
+class ExperimentResult:
+    """Everything one experiment run produced.
+
+    Attributes
+    ----------
+    spec:
+        The experiment's identity card.
+    mode:
+        ``"quick"`` (CI-scale) or ``"full"`` (EXPERIMENTS.md-scale).
+    seed:
+        Master seed of the run.
+    parameters:
+        The concrete workload parameters used (JSON-serialisable).
+    tables:
+        Named result tables.
+    figures:
+        Named ASCII figures (multi-line strings).
+    findings:
+        Headline conclusions, one sentence each, in display order.
+    """
+
+    spec: ExperimentSpec
+    mode: str
+    seed: int
+    parameters: dict[str, Any] = field(default_factory=dict)
+    tables: dict[str, Table] = field(default_factory=dict)
+    figures: dict[str, str] = field(default_factory=dict)
+    findings: list[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        """Human-readable report: banner, findings, tables, figures."""
+        blocks = [self.spec.header(), f"  mode  : {self.mode} (seed {self.seed})"]
+        if self.findings:
+            blocks.append("findings:")
+            blocks.extend(f"  * {finding}" for finding in self.findings)
+        for name, table in self.tables.items():
+            blocks.append(f"\n-- {name} --")
+            blocks.append(table.render())
+        for name, figure in self.figures.items():
+            blocks.append(f"\n-- {name} --")
+            blocks.append(figure)
+        return "\n".join(blocks)
+
+    def to_json_dict(self) -> dict[str, Any]:
+        """JSON-serialisable form (tables stored as records)."""
+        return {
+            "spec": self.spec.to_dict(),
+            "mode": self.mode,
+            "seed": self.seed,
+            "parameters": self.parameters,
+            "tables": {name: table.to_records() for name, table in self.tables.items()},
+            "figures": dict(self.figures),
+            "findings": list(self.findings),
+        }
+
+    def save(self, path: str | Path) -> Path:
+        """Write the result as pretty-printed JSON; returns the path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_json_dict(), indent=2, default=_coerce))
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ExperimentResult":
+        """Read a result previously written by :meth:`save`."""
+        data = json.loads(Path(path).read_text())
+        try:
+            spec = ExperimentSpec.from_dict(data["spec"])
+            tables = {
+                name: Table.from_records(records) if records else Table(["empty"])
+                for name, records in data["tables"].items()
+            }
+            return cls(
+                spec=spec,
+                mode=data["mode"],
+                seed=data["seed"],
+                parameters=data["parameters"],
+                tables=tables,
+                figures=data["figures"],
+                findings=data["findings"],
+            )
+        except KeyError as missing:
+            raise ExperimentError(f"malformed result file {path}: missing {missing}") from None
+
+
+def _coerce(value: Any):
+    """JSON fallback for NumPy scalars."""
+    if hasattr(value, "item"):
+        return value.item()
+    raise TypeError(f"not JSON serialisable: {type(value)}")

@@ -1,0 +1,49 @@
+"""Experiment metadata: what claim is tested, where in the paper it lives."""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Identity card of one reproduction experiment.
+
+    Attributes
+    ----------
+    experiment_id:
+        Registry key, ``"E1"`` .. ``"E10"``.
+    title:
+        One-line human-readable name.
+    claim:
+        The paper claim the experiment validates, paraphrased.
+    paper_reference:
+        Where the claim is stated (theorem/lemma/section).
+    """
+
+    experiment_id: str
+    title: str
+    claim: str
+    paper_reference: str
+
+    def to_dict(self) -> dict[str, str]:
+        """Plain-dict form for JSON storage."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict[str, str]) -> "ExperimentSpec":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            experiment_id=data["experiment_id"],
+            title=data["title"],
+            claim=data["claim"],
+            paper_reference=data["paper_reference"],
+        )
+
+    def header(self) -> str:
+        """Multi-line banner used at the top of rendered results."""
+        return (
+            f"[{self.experiment_id}] {self.title}\n"
+            f"  claim : {self.claim}\n"
+            f"  source: {self.paper_reference}"
+        )

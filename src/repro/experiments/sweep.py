@@ -1,0 +1,137 @@
+"""Shared measurement helpers for the experiment modules.
+
+Each helper runs an ensemble of independently seeded replicas of one
+process configuration and returns both the raw completion times and a
+:class:`~repro.analysis.stats.SummaryStats`.  Graph-building helpers
+bundle the expander construction with its spectral-gap measurement so
+experiments report ``λ`` alongside every row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._rng import SeedLike, derive_seed_sequence
+from repro.analysis.stats import SummaryStats, summarize
+from repro.core.bips import BipsProcess
+from repro.core.cobra import CobraProcess
+from repro.core.push import PushProcess
+from repro.core.pushpull import PushPullProcess
+from repro.core.randomwalk import RandomWalkProcess
+from repro.core.runner import sample_completion_times
+from repro.graphs.base import Graph
+from repro.graphs.generators import random_regular
+from repro.graphs.spectral import lambda_second
+
+
+@dataclass(frozen=True)
+class EnsembleMeasurement:
+    """Raw completion times and their summary for one configuration."""
+
+    times: np.ndarray
+    stats: SummaryStats
+
+    @property
+    def mean(self) -> float:
+        """Mean completion time."""
+        return self.stats.mean
+
+
+def _measure(factory, n_samples: int, seed: SeedLike, max_rounds: int | None) -> EnsembleMeasurement:
+    times = sample_completion_times(
+        factory, n_samples, seed=seed, max_rounds=max_rounds, raise_on_timeout=True
+    )
+    return EnsembleMeasurement(times=times, stats=summarize(times))
+
+
+def measure_cobra_cover(
+    graph: Graph,
+    *,
+    start: int = 0,
+    branching: float = 2.0,
+    n_samples: int = 10,
+    seed: SeedLike = None,
+    max_rounds: int | None = None,
+) -> EnsembleMeasurement:
+    """Ensemble of COBRA cover times on ``graph``."""
+    return _measure(
+        lambda rng: CobraProcess(graph, start, branching=branching, seed=rng),
+        n_samples,
+        seed,
+        max_rounds,
+    )
+
+
+def measure_bips_infection(
+    graph: Graph,
+    *,
+    source: int = 0,
+    branching: float = 2.0,
+    n_samples: int = 10,
+    seed: SeedLike = None,
+    max_rounds: int | None = None,
+) -> EnsembleMeasurement:
+    """Ensemble of BIPS infection times on ``graph``."""
+    return _measure(
+        lambda rng: BipsProcess(graph, source, branching=branching, seed=rng),
+        n_samples,
+        seed,
+        max_rounds,
+    )
+
+
+def measure_push_broadcast(
+    graph: Graph,
+    *,
+    start: int = 0,
+    n_samples: int = 10,
+    seed: SeedLike = None,
+    max_rounds: int | None = None,
+) -> EnsembleMeasurement:
+    """Ensemble of push-protocol broadcast times on ``graph``."""
+    return _measure(
+        lambda rng: PushProcess(graph, start, seed=rng), n_samples, seed, max_rounds
+    )
+
+
+def measure_pushpull_broadcast(
+    graph: Graph,
+    *,
+    start: int = 0,
+    n_samples: int = 10,
+    seed: SeedLike = None,
+    max_rounds: int | None = None,
+) -> EnsembleMeasurement:
+    """Ensemble of push–pull broadcast times on ``graph``."""
+    return _measure(
+        lambda rng: PushPullProcess(graph, start, seed=rng), n_samples, seed, max_rounds
+    )
+
+
+def measure_random_walk_cover(
+    graph: Graph,
+    *,
+    start: int = 0,
+    n_walkers: int = 1,
+    n_samples: int = 10,
+    seed: SeedLike = None,
+    max_rounds: int | None = None,
+) -> EnsembleMeasurement:
+    """Ensemble of random-walk cover times on ``graph``."""
+    return _measure(
+        lambda rng: RandomWalkProcess(graph, start, n_walkers=n_walkers, seed=rng),
+        n_samples,
+        seed,
+        max_rounds,
+    )
+
+
+def expander_with_gap(
+    n: int, r: int, seed: SeedLike = None, *, lambda_method: str = "auto"
+) -> tuple[Graph, float]:
+    """A connected random `r`-regular graph together with its measured ``λ``."""
+    sequence = derive_seed_sequence(seed)
+    graph = random_regular(n, r, seed=np.random.default_rng(sequence))
+    return graph, lambda_second(graph, method=lambda_method)

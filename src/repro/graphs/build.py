@@ -1,0 +1,102 @@
+"""Converters between :class:`~repro.graphs.Graph` and other formats."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import GraphConstructionError
+from repro.graphs.base import Graph
+
+
+def from_edges(n_vertices: int, edges: Iterable[Sequence[int]], *, name: str = "graph") -> Graph:
+    """Build a graph on ``n_vertices`` vertices from an undirected edge list.
+
+    Each edge is a pair ``(u, v)``; orientation and order are irrelevant.
+    Self-loops and duplicate edges (in either orientation) are rejected.
+
+    Parameters
+    ----------
+    n_vertices:
+        Number of vertices; the edge list may leave some isolated.
+    edges:
+        Iterable of 2-sequences of vertex indices in ``[0, n_vertices)``.
+    name:
+        Provenance label stored on the resulting graph.
+    """
+    if n_vertices < 1:
+        raise GraphConstructionError(f"n_vertices must be >= 1, got {n_vertices}")
+    edge_array = np.asarray(list(edges), dtype=np.int64)
+    if edge_array.size == 0:
+        edge_array = edge_array.reshape(0, 2)
+    if edge_array.ndim != 2 or edge_array.shape[1] != 2:
+        raise GraphConstructionError("edges must be pairs (u, v)")
+    if edge_array.size and (edge_array.min() < 0 or edge_array.max() >= n_vertices):
+        raise GraphConstructionError(
+            f"edge endpoint out of range [0, {n_vertices}): "
+            f"min={edge_array.min()}, max={edge_array.max()}"
+        )
+    if np.any(edge_array[:, 0] == edge_array[:, 1]):
+        loop_row = int(np.argmax(edge_array[:, 0] == edge_array[:, 1]))
+        raise GraphConstructionError(f"self-loop at vertex {edge_array[loop_row, 0]}")
+    canonical = np.sort(edge_array, axis=1)
+    keys = canonical[:, 0] * n_vertices + canonical[:, 1]
+    if np.unique(keys).size != keys.size:
+        raise GraphConstructionError("duplicate edge in edge list")
+
+    directed_sources = np.concatenate([edge_array[:, 0], edge_array[:, 1]])
+    directed_targets = np.concatenate([edge_array[:, 1], edge_array[:, 0]])
+    order = np.argsort(directed_sources, kind="stable")
+    sorted_sources = directed_sources[order]
+    sorted_targets = directed_targets[order]
+    indptr = np.zeros(n_vertices + 1, dtype=np.int64)
+    np.cumsum(np.bincount(sorted_sources, minlength=n_vertices), out=indptr[1:])
+    return Graph(indptr, sorted_targets, name=name)
+
+
+def from_adjacency_matrix(matrix: np.ndarray, *, name: str = "graph") -> Graph:
+    """Build a graph from a dense symmetric 0/1 adjacency matrix."""
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise GraphConstructionError(f"adjacency matrix must be square, got shape {matrix.shape}")
+    if not np.array_equal(matrix, matrix.T):
+        raise GraphConstructionError("adjacency matrix must be symmetric")
+    if not np.all(np.isin(matrix, (0, 1))):
+        raise GraphConstructionError("adjacency matrix entries must be 0 or 1")
+    if np.any(np.diag(matrix) != 0):
+        raise GraphConstructionError("adjacency matrix must have a zero diagonal (no self-loops)")
+    rows, cols = np.nonzero(np.triu(matrix, k=1))
+    return from_edges(matrix.shape[0], np.column_stack([rows, cols]), name=name)
+
+
+def from_networkx(nx_graph, *, name: str | None = None) -> Graph:
+    """Convert a :class:`networkx.Graph` (relabelling nodes to ``0..n-1``).
+
+    Node labels are sorted (by string representation when mixed types)
+    to give a deterministic relabelling.  Multigraphs and directed
+    graphs are rejected.
+    """
+    import networkx as nx
+
+    if nx_graph.is_directed() or nx_graph.is_multigraph():
+        raise GraphConstructionError("only simple undirected networkx graphs are supported")
+    nodes = list(nx_graph.nodes())
+    try:
+        nodes.sort()
+    except TypeError:
+        nodes.sort(key=str)
+    index_of = {node: i for i, node in enumerate(nodes)}
+    edges = [(index_of[u], index_of[v]) for u, v in nx_graph.edges() if u != v]
+    label = name if name is not None else f"networkx({nx_graph.__class__.__name__})"
+    return from_edges(len(nodes), edges, name=label)
+
+
+def to_networkx(graph: Graph):
+    """Convert to a :class:`networkx.Graph` with integer nodes."""
+    import networkx as nx
+
+    nx_graph = nx.Graph()
+    nx_graph.add_nodes_from(range(graph.n_vertices))
+    nx_graph.add_edges_from(graph.edges())
+    return nx_graph

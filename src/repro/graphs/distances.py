@@ -1,0 +1,75 @@
+"""Shortest-path distances on unweighted graphs (BFS-based).
+
+A thin public layer over the BFS used internally by
+:mod:`repro.graphs.properties`: per-source distance vectors, all-pairs
+matrices for small graphs, and distance histograms.  COBRA's cover
+time is lower-bounded by the diameter (information moves one hop per
+round), which the integration tests assert with these helpers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphPropertyError
+from repro.graphs.base import Graph
+from repro.graphs.properties import _bfs_levels
+
+
+def bfs_distances(graph: Graph, source: int) -> np.ndarray:
+    """Hop distances from ``source`` to every vertex (-1 if unreachable)."""
+    if not 0 <= source < graph.n_vertices:
+        raise GraphPropertyError(
+            f"source {source} out of range [0, {graph.n_vertices})"
+        )
+    return _bfs_levels(graph, source)
+
+
+def all_pairs_distances(graph: Graph, *, max_vertices: int = 4096) -> np.ndarray:
+    """The full ``(n, n)`` hop-distance matrix (-1 marks unreachable pairs).
+
+    BFS from every vertex: O(n·m).  Refuses graphs above
+    ``max_vertices`` to avoid accidental quadratic blowups.
+    """
+    n = graph.n_vertices
+    if n > max_vertices:
+        raise GraphPropertyError(
+            f"all-pairs distances on n={n} exceeds the limit of {max_vertices}; "
+            "raise max_vertices explicitly if you really want this"
+        )
+    matrix = np.empty((n, n), dtype=np.int64)
+    for source in range(n):
+        matrix[source] = _bfs_levels(graph, source)
+    return matrix
+
+
+def distance_histogram(graph: Graph) -> dict[int, int]:
+    """Counts of ordered vertex pairs at each hop distance ``>= 1``.
+
+    Requires connectivity (no -1 entries).  The count at distance 1 is
+    ``2m``; the largest key is the diameter.
+    """
+    matrix = all_pairs_distances(graph)
+    if np.any(matrix < 0):
+        raise GraphPropertyError("distance histogram requires a connected graph")
+    values, counts = np.unique(matrix[matrix > 0], return_counts=True)
+    return {int(value): int(count) for value, count in zip(values, counts)}
+
+
+def average_distance(graph: Graph) -> float:
+    """Mean hop distance over ordered distinct pairs (connected graphs)."""
+    matrix = all_pairs_distances(graph)
+    if np.any(matrix < 0):
+        raise GraphPropertyError("average distance requires a connected graph")
+    n = graph.n_vertices
+    if n < 2:
+        raise GraphPropertyError("average distance needs at least two vertices")
+    return float(matrix.sum() / (n * (n - 1)))
+
+
+def eccentricities(graph: Graph) -> np.ndarray:
+    """Per-vertex eccentricity (largest hop distance); requires connectivity."""
+    matrix = all_pairs_distances(graph)
+    if np.any(matrix < 0):
+        raise GraphPropertyError("eccentricities require a connected graph")
+    return matrix.max(axis=1)

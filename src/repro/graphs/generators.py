@@ -1,0 +1,411 @@
+"""Graph families used by the paper's experiments.
+
+Regular families (the paper's setting):
+
+* :func:`complete` — `K_n`, the densest expander, `λ = 1/(n-1)`.
+* :func:`cycle` — `C_n`, the weakest connected regular graph,
+  `λ = cos(π/n)` for odd `n`.
+* :func:`circulant` — cycles with chord sets; analytically known
+  eigenvalues and tunable spectral gap.
+* :func:`random_regular` — random `r`-regular graphs, `λ ≈ 2√(r-1)/r`
+  w.h.p.; the paper's canonical expander testbed.
+* :func:`hypercube` — `d`-dimensional binary cube (bipartite; useful as
+  a boundary case where `λ = 1` and the theorems are vacuous).
+* :func:`torus` — `d`-dimensional discrete torus; the regular analogue
+  of the grid in the Dutta et al. comparison.
+* :func:`petersen` — the Petersen graph, a small vertex-transitive
+  expander handy for exact computations.
+
+Irregular families (for generality tests and baselines): :func:`path`,
+:func:`star`, :func:`grid`, :func:`binary_tree`, :func:`barbell`,
+:func:`ring_of_cliques`, :func:`erdos_renyi`, :func:`complete_bipartite`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Sequence
+
+import numpy as np
+
+from repro._rng import SeedLike, ensure_generator
+from repro.errors import GraphConstructionError
+from repro.graphs.base import Graph
+from repro.graphs.build import from_edges
+
+
+def complete(n: int) -> Graph:
+    """Complete graph `K_n` (`(n-1)`-regular, `λ = 1/(n-1)`)."""
+    if n < 2:
+        raise GraphConstructionError(f"complete graph needs n >= 2, got {n}")
+    edges = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    return from_edges(n, edges, name=f"complete(n={n})")
+
+
+def cycle(n: int) -> Graph:
+    """Cycle `C_n` (2-regular; bipartite iff `n` even)."""
+    if n < 3:
+        raise GraphConstructionError(f"cycle needs n >= 3, got {n}")
+    edges = [(u, (u + 1) % n) for u in range(n)]
+    return from_edges(n, edges, name=f"cycle(n={n})")
+
+
+def path(n: int) -> Graph:
+    """Path graph on `n` vertices (irregular: endpoints have degree 1)."""
+    if n < 2:
+        raise GraphConstructionError(f"path needs n >= 2, got {n}")
+    edges = [(u, u + 1) for u in range(n - 1)]
+    return from_edges(n, edges, name=f"path(n={n})")
+
+
+def star(n: int) -> Graph:
+    """Star with centre 0 and `n - 1` leaves."""
+    if n < 2:
+        raise GraphConstructionError(f"star needs n >= 2, got {n}")
+    edges = [(0, leaf) for leaf in range(1, n)]
+    return from_edges(n, edges, name=f"star(n={n})")
+
+
+def complete_bipartite(a: int, b: int) -> Graph:
+    """Complete bipartite graph `K_{a,b}` (regular iff `a == b`)."""
+    if a < 1 or b < 1:
+        raise GraphConstructionError(f"complete_bipartite needs a, b >= 1, got {a}, {b}")
+    edges = [(u, a + v) for u in range(a) for v in range(b)]
+    return from_edges(a + b, edges, name=f"complete_bipartite(a={a}, b={b})")
+
+
+def petersen() -> Graph:
+    """The Petersen graph: 10 vertices, 3-regular, non-bipartite, `λ = 2/3`."""
+    outer = [(u, (u + 1) % 5) for u in range(5)]
+    spokes = [(u, u + 5) for u in range(5)]
+    inner = [(5 + u, 5 + (u + 2) % 5) for u in range(5)]
+    return from_edges(10, outer + spokes + inner, name="petersen()")
+
+
+def hypercube(dimension: int) -> Graph:
+    """Binary hypercube `Q_d`: `2^d` vertices, `d`-regular, bipartite."""
+    if dimension < 1:
+        raise GraphConstructionError(f"hypercube needs dimension >= 1, got {dimension}")
+    n = 1 << dimension
+    edges = [(u, u ^ (1 << bit)) for u in range(n) for bit in range(dimension) if u < u ^ (1 << bit)]
+    return from_edges(n, edges, name=f"hypercube(d={dimension})")
+
+
+def torus(side_lengths: Sequence[int]) -> Graph:
+    """Discrete torus `Z_{L1} x ... x Z_{Ld}` (`2d`-regular for sides >= 3).
+
+    Non-bipartite whenever at least one side length is odd, which is the
+    configuration the experiments use (bipartite graphs have `λ = 1`).
+    Side lengths of 2 would create parallel edges and are rejected.
+    """
+    sides = tuple(int(side) for side in side_lengths)
+    if not sides:
+        raise GraphConstructionError("torus needs at least one dimension")
+    if any(side < 3 for side in sides):
+        raise GraphConstructionError(f"torus side lengths must be >= 3, got {sides}")
+    n = int(np.prod(sides))
+    strides = np.ones(len(sides), dtype=np.int64)
+    for axis in range(len(sides) - 2, -1, -1):
+        strides[axis] = strides[axis + 1] * sides[axis + 1]
+
+    edges: list[tuple[int, int]] = []
+    for coords in itertools.product(*[range(side) for side in sides]):
+        u = int(np.dot(coords, strides))
+        for axis, side in enumerate(sides):
+            forward = list(coords)
+            forward[axis] = (forward[axis] + 1) % side
+            v = int(np.dot(forward, strides))
+            edges.append((u, v))
+    # Each wrap-around edge is emitted once per direction of travel;
+    # canonicalise and deduplicate.
+    unique = {(min(u, v), max(u, v)) for u, v in edges}
+    return from_edges(n, sorted(unique), name=f"torus(sides={sides})")
+
+
+def grid(side_lengths: Sequence[int]) -> Graph:
+    """Open `d`-dimensional grid (irregular at the boundary)."""
+    sides = tuple(int(side) for side in side_lengths)
+    if not sides:
+        raise GraphConstructionError("grid needs at least one dimension")
+    if any(side < 2 for side in sides):
+        raise GraphConstructionError(f"grid side lengths must be >= 2, got {sides}")
+    n = int(np.prod(sides))
+    strides = np.ones(len(sides), dtype=np.int64)
+    for axis in range(len(sides) - 2, -1, -1):
+        strides[axis] = strides[axis + 1] * sides[axis + 1]
+    edges: list[tuple[int, int]] = []
+    for coords in itertools.product(*[range(side) for side in sides]):
+        u = int(np.dot(coords, strides))
+        for axis, side in enumerate(sides):
+            if coords[axis] + 1 < side:
+                forward = list(coords)
+                forward[axis] += 1
+                edges.append((u, int(np.dot(forward, strides))))
+    return from_edges(n, edges, name=f"grid(sides={sides})")
+
+
+def circulant(n: int, offsets: Sequence[int]) -> Graph:
+    """Circulant graph `C_n(s1, ..., sj)`.
+
+    Vertex ``u`` is adjacent to ``u ± s (mod n)`` for each offset ``s``.
+    The graph is ``2j``-regular when no offset equals ``n/2`` (an offset
+    of exactly ``n/2`` contributes a single perfect-matching edge per
+    vertex).  Eigenvalues are known in closed form, which
+    :func:`repro.graphs.spectral.analytic_lambda` exploits.
+    """
+    if n < 3:
+        raise GraphConstructionError(f"circulant needs n >= 3, got {n}")
+    cleaned = sorted({int(s) for s in offsets})
+    if not cleaned:
+        raise GraphConstructionError("circulant needs at least one offset")
+    if cleaned[0] < 1 or cleaned[-1] > n // 2:
+        raise GraphConstructionError(
+            f"offsets must lie in [1, n//2]={n // 2}, got {cleaned}"
+        )
+    edges = set()
+    for u in range(n):
+        for s in cleaned:
+            v = (u + s) % n
+            if u != v:
+                edges.add((min(u, v), max(u, v)))
+    return from_edges(n, sorted(edges), name=f"circulant(n={n}, offsets={tuple(cleaned)})")
+
+
+def random_regular(n: int, r: int, seed: SeedLike = None, *, max_tries: int = 100) -> Graph:
+    """Connected random `r`-regular simple graph on `n` vertices.
+
+    Uses NetworkX's pairing-model sampler and retries until the sample
+    is connected (for `r >= 3` a sample is connected w.h.p., so retries
+    are rare).  Requires `n * r` even and `r < n`.
+    """
+    if r < 1 or r >= n:
+        raise GraphConstructionError(f"need 1 <= r < n, got r={r}, n={n}")
+    if (n * r) % 2 != 0:
+        raise GraphConstructionError(f"n*r must be even, got n={n}, r={r}")
+    import networkx as nx
+
+    rng = ensure_generator(seed)
+    for _ in range(max_tries):
+        nx_seed = int(rng.integers(0, 2**31 - 1))
+        candidate = nx.random_regular_graph(r, n, seed=nx_seed)
+        if nx.is_connected(candidate):
+            graph = from_edges(
+                n, list(candidate.edges()), name=f"random_regular(n={n}, r={r})"
+            )
+            return graph
+    raise GraphConstructionError(
+        f"failed to sample a connected {r}-regular graph on {n} vertices "
+        f"in {max_tries} tries"
+    )
+
+
+def ring_of_cliques(n_cliques: int, clique_size: int) -> Graph:
+    """`n_cliques` copies of `K_s` joined in a cycle by bridge edges.
+
+    A classic poor expander: the spectral gap shrinks as the number of
+    cliques grows.  Not regular (bridge endpoints have degree `s`).
+    """
+    if n_cliques < 3:
+        raise GraphConstructionError(f"ring_of_cliques needs >= 3 cliques, got {n_cliques}")
+    if clique_size < 2:
+        raise GraphConstructionError(f"clique size must be >= 2, got {clique_size}")
+    edges: list[tuple[int, int]] = []
+    for c in range(n_cliques):
+        base = c * clique_size
+        for u in range(clique_size):
+            for v in range(u + 1, clique_size):
+                edges.append((base + u, base + v))
+        next_base = ((c + 1) % n_cliques) * clique_size
+        # Bridge from this clique's vertex 1 to the next clique's vertex 0
+        # so no vertex carries two bridges (keeps degrees s-1 or s).
+        edges.append((base + 1, next_base))
+    n = n_cliques * clique_size
+    return from_edges(n, edges, name=f"ring_of_cliques(cliques={n_cliques}, size={clique_size})")
+
+
+def barbell(clique_size: int, path_length: int) -> Graph:
+    """Two `K_s` cliques joined by a path of `path_length` extra vertices."""
+    if clique_size < 3:
+        raise GraphConstructionError(f"barbell clique size must be >= 3, got {clique_size}")
+    if path_length < 0:
+        raise GraphConstructionError(f"path_length must be >= 0, got {path_length}")
+    edges: list[tuple[int, int]] = []
+    for base in (0, clique_size):
+        for u in range(clique_size):
+            for v in range(u + 1, clique_size):
+                edges.append((base + u, base + v))
+    left_anchor = 0
+    right_anchor = clique_size
+    previous = left_anchor
+    for i in range(path_length):
+        bridge_vertex = 2 * clique_size + i
+        edges.append((previous, bridge_vertex))
+        previous = bridge_vertex
+    edges.append((previous, right_anchor))
+    n = 2 * clique_size + path_length
+    return from_edges(n, edges, name=f"barbell(clique={clique_size}, path={path_length})")
+
+
+def binary_tree(height: int) -> Graph:
+    """Complete binary tree of the given height (`2^(h+1) - 1` vertices)."""
+    if height < 1:
+        raise GraphConstructionError(f"binary_tree needs height >= 1, got {height}")
+    n = (1 << (height + 1)) - 1
+    edges = [(child, (child - 1) // 2) for child in range(1, n)]
+    return from_edges(n, edges, name=f"binary_tree(height={height})")
+
+
+def kneser(n: int, k: int) -> Graph:
+    """Kneser graph ``K(n, k)``: `k`-subsets of `[n]`, adjacent iff disjoint.
+
+    ``C(n, k)`` vertices, ``C(n-k, k)``-regular; ``kneser(5, 2)`` is the
+    Petersen graph.  Requires ``n >= 2k`` (else edgeless).
+    """
+    if k < 1 or n < 2 * k:
+        raise GraphConstructionError(f"kneser needs n >= 2k >= 2, got n={n}, k={k}")
+    subsets = list(itertools.combinations(range(n), k))
+    index_of = {subset: i for i, subset in enumerate(subsets)}
+    edges = []
+    for i, a in enumerate(subsets):
+        a_set = set(a)
+        for b in itertools.combinations([x for x in range(n) if x not in a_set], k):
+            j = index_of[b]
+            if i < j:
+                edges.append((i, j))
+    return from_edges(len(subsets), edges, name=f"kneser(n={n}, k={k})")
+
+
+def johnson(n: int, k: int) -> Graph:
+    """Johnson graph ``J(n, k)``: `k`-subsets of `[n]`, adjacent iff they
+    share ``k - 1`` elements.
+
+    ``C(n, k)`` vertices, ``k (n - k)``-regular, distance-transitive;
+    ``J(n, 2)`` is the triangular graph ``T(n)``.
+    """
+    if k < 1 or k > n - 1:
+        raise GraphConstructionError(f"johnson needs 1 <= k <= n-1, got n={n}, k={k}")
+    subsets = list(itertools.combinations(range(n), k))
+    index_of = {subset: i for i, subset in enumerate(subsets)}
+    edges = []
+    for i, a in enumerate(subsets):
+        a_set = set(a)
+        for removed in a:
+            remaining = a_set - {removed}
+            for added in range(n):
+                if added in a_set:
+                    continue
+                b = tuple(sorted(remaining | {added}))
+                j = index_of[b]
+                if i < j:
+                    edges.append((i, j))
+    return from_edges(len(subsets), edges, name=f"johnson(n={n}, k={k})")
+
+
+def lollipop(clique_size: int, path_length: int) -> Graph:
+    """Lollipop graph: a `K_s` clique with a path of ``path_length``
+    extra vertices hanging off vertex 0.
+
+    The classic worst case for random-walk cover time (``Θ(n³)``),
+    included as a baseline stressor.
+    """
+    if clique_size < 3:
+        raise GraphConstructionError(f"lollipop clique size must be >= 3, got {clique_size}")
+    if path_length < 1:
+        raise GraphConstructionError(f"lollipop path_length must be >= 1, got {path_length}")
+    edges = [
+        (u, v) for u in range(clique_size) for v in range(u + 1, clique_size)
+    ]
+    previous = 0
+    for i in range(path_length):
+        tail_vertex = clique_size + i
+        edges.append((previous, tail_vertex))
+        previous = tail_vertex
+    n = clique_size + path_length
+    return from_edges(n, edges, name=f"lollipop(clique={clique_size}, path={path_length})")
+
+
+def complete_multipartite(part_sizes: Sequence[int]) -> Graph:
+    """Complete multipartite graph: parts are independent sets, all
+    cross-part pairs are edges.
+
+    Regular iff all parts have equal size; `K_{s,s,...,s}` with `p`
+    parts is ``(p-1)s``-regular and non-bipartite for ``p >= 3``.
+    """
+    sizes = [int(s) for s in part_sizes]
+    if len(sizes) < 2 or any(s < 1 for s in sizes):
+        raise GraphConstructionError(
+            f"complete_multipartite needs >= 2 parts of size >= 1, got {sizes}"
+        )
+    boundaries = np.concatenate([[0], np.cumsum(sizes)])
+    edges = []
+    for part_a in range(len(sizes)):
+        for part_b in range(part_a + 1, len(sizes)):
+            for u in range(boundaries[part_a], boundaries[part_a + 1]):
+                for v in range(boundaries[part_b], boundaries[part_b + 1]):
+                    edges.append((int(u), int(v)))
+    n = int(boundaries[-1])
+    return from_edges(n, edges, name=f"complete_multipartite(sizes={tuple(sizes)})")
+
+
+def gabber_galil(m: int) -> Graph:
+    """Gabber–Galil expander on the grid ``Z_m × Z_m`` (simplified).
+
+    Vertex ``(x, y)`` connects to ``(x ± 2y, y)``, ``(x ± (2y+1), y)``,
+    ``(x, y ± 2x)``, ``(x, y ± (2x+1))`` (arithmetic mod `m`) — a
+    deterministic constant-gap expander family.  Self-loops and
+    parallel edges of the underlying multigraph are dropped, so the
+    simple version is *nearly* 8-regular (degrees can dip at special
+    points); the spectral gap remains bounded away from zero.
+    """
+    if m < 3:
+        raise GraphConstructionError(f"gabber_galil needs m >= 3, got {m}")
+    edges: set[tuple[int, int]] = set()
+
+    def vertex(x: int, y: int) -> int:
+        return (x % m) * m + (y % m)
+
+    for x in range(m):
+        for y in range(m):
+            u = vertex(x, y)
+            for v in (
+                vertex(x + 2 * y, y),
+                vertex(x - 2 * y, y),
+                vertex(x + 2 * y + 1, y),
+                vertex(x - 2 * y - 1, y),
+                vertex(x, y + 2 * x),
+                vertex(x, y - 2 * x),
+                vertex(x, y + 2 * x + 1),
+                vertex(x, y - 2 * x - 1),
+            ):
+                if u != v:
+                    edges.add((min(u, v), max(u, v)))
+    return from_edges(m * m, sorted(edges), name=f"gabber_galil(m={m})")
+
+
+def erdos_renyi(n: int, p: float, seed: SeedLike = None, *, connected: bool = False,
+                max_tries: int = 100) -> Graph:
+    """Erdős–Rényi `G(n, p)` random graph.
+
+    With ``connected=True`` the sample is redrawn until connected
+    (sensible only for `p` above the connectivity threshold
+    `log(n)/n`).
+    """
+    if n < 2:
+        raise GraphConstructionError(f"erdos_renyi needs n >= 2, got {n}")
+    if not 0.0 <= p <= 1.0:
+        raise GraphConstructionError(f"p must be in [0, 1], got {p}")
+    rng = ensure_generator(seed)
+    rows, cols = np.triu_indices(n, k=1)
+    for _ in range(max_tries):
+        mask = rng.random(rows.size) < p
+        edges = np.column_stack([rows[mask], cols[mask]])
+        graph = from_edges(n, edges, name=f"erdos_renyi(n={n}, p={p})")
+        if not connected:
+            return graph
+        from repro.graphs.properties import is_connected
+
+        if is_connected(graph):
+            return graph
+    raise GraphConstructionError(
+        f"failed to sample a connected G({n}, {p}) graph in {max_tries} tries"
+    )

@@ -1,0 +1,119 @@
+"""Graph persistence: NumPy archives and plain edge-list text.
+
+Two formats:
+
+* ``.npz`` (:func:`save_graph` / :func:`load_graph`) — lossless CSR
+  arrays plus the provenance name; the fast path for experiment
+  artefacts.
+* edge-list text (:func:`to_edge_list_text` /
+  :func:`from_edge_list_text`) — one ``u v`` pair per line with a
+  ``# name:`` header; interoperable with standard graph tooling.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import GraphConstructionError
+from repro.graphs.base import Graph
+from repro.graphs.build import from_edges
+
+_FORMAT_VERSION = 1
+
+
+def save_graph(graph: Graph, path: str | Path) -> Path:
+    """Write a graph as a compressed ``.npz`` archive; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(
+        path,
+        indptr=graph.indptr,
+        indices=graph.indices,
+        name=np.array(graph.name),
+        format_version=np.array(_FORMAT_VERSION),
+    )
+    # np.savez appends .npz only when missing; normalise the return.
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_graph(path: str | Path) -> Graph:
+    """Read a graph written by :func:`save_graph` (revalidates)."""
+    with np.load(Path(path), allow_pickle=False) as archive:
+        try:
+            indptr = archive["indptr"]
+            indices = archive["indices"]
+            name = str(archive["name"])
+            version = int(archive["format_version"])
+        except KeyError as missing:
+            raise GraphConstructionError(
+                f"{path} is not a repro graph archive (missing {missing})"
+            ) from None
+    if version != _FORMAT_VERSION:
+        raise GraphConstructionError(
+            f"unsupported graph archive version {version} (expected {_FORMAT_VERSION})"
+        )
+    return Graph(indptr, indices, name=name)
+
+
+def to_edge_list_text(graph: Graph) -> str:
+    """Render as text: a header comment, then one ``u v`` edge per line."""
+    lines = [
+        f"# name: {graph.name}",
+        f"# vertices: {graph.n_vertices}",
+    ]
+    lines.extend(f"{u} {v}" for u, v in graph.edges())
+    return "\n".join(lines) + "\n"
+
+
+def from_edge_list_text(text: str, *, name: str | None = None) -> Graph:
+    """Parse :func:`to_edge_list_text` output (or any ``u v`` line format).
+
+    The vertex count is taken from a ``# vertices:`` header when
+    present, else inferred as ``max index + 1``.
+    """
+    n_vertices: int | None = None
+    parsed_name = name
+    edges: list[tuple[int, int]] = []
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            body = line[1:].strip()
+            if body.startswith("vertices:"):
+                n_vertices = int(body.split(":", 1)[1])
+            elif body.startswith("name:") and parsed_name is None:
+                parsed_name = body.split(":", 1)[1].strip()
+            continue
+        parts = line.split()
+        if len(parts) != 2:
+            raise GraphConstructionError(
+                f"line {line_number}: expected 'u v', got {raw!r}"
+            )
+        try:
+            u, v = int(parts[0]), int(parts[1])
+        except ValueError:
+            raise GraphConstructionError(
+                f"line {line_number}: non-integer vertex in {raw!r}"
+            ) from None
+        edges.append((u, v))
+    if n_vertices is None:
+        if not edges:
+            raise GraphConstructionError("edge-list text has no edges and no vertex count")
+        n_vertices = max(max(u, v) for u, v in edges) + 1
+    return from_edges(n_vertices, edges, name=parsed_name or "edge_list")
+
+
+def save_edge_list(graph: Graph, path: str | Path) -> Path:
+    """Write the edge-list text format to a file; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(to_edge_list_text(graph))
+    return path
+
+
+def load_edge_list(path: str | Path, *, name: str | None = None) -> Graph:
+    """Read a graph from an edge-list text file."""
+    return from_edge_list_text(Path(path).read_text(), name=name)

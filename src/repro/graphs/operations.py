@@ -1,0 +1,138 @@
+"""Graph operations: products, unions, complement.
+
+These compose the structured families into richer testbeds.  For
+regular graphs the spectra compose in closed form, which the test
+suite exploits:
+
+* **Cartesian product** ``G □ H`` of an `r`-regular `G` and an
+  `s`-regular `H` is `(r+s)`-regular, and the transition-matrix
+  eigenvalues are ``(r·λ_i(G) + s·μ_j(H)) / (r + s)`` — e.g. the
+  `d`-dimensional torus is the `d`-fold product of cycles.
+* **Tensor (categorical) product** ``G × H`` has transition
+  eigenvalues ``λ_i(G) · μ_j(H)``.
+* **Complement** of an `r`-regular graph is `(n−1−r)`-regular with
+  adjacency eigenvalues ``n−1−r`` and ``−1−η`` for each non-principal
+  adjacency eigenvalue ``η`` of `G`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphConstructionError
+from repro.graphs.base import Graph
+from repro.graphs.build import from_edges
+
+
+def cartesian_product(first: Graph, second: Graph, *, name: str | None = None) -> Graph:
+    """Cartesian product ``G □ H``.
+
+    Vertices are pairs ``(u, x)`` encoded as ``u * |H| + x``; edges
+    connect pairs that agree in one coordinate and are adjacent in the
+    other.
+    """
+    n_second = second.n_vertices
+    edges: list[tuple[int, int]] = []
+    for u in range(first.n_vertices):
+        base = u * n_second
+        for x, y in second.edges():
+            edges.append((base + x, base + y))
+    for u, v in first.edges():
+        for x in range(n_second):
+            edges.append((u * n_second + x, v * n_second + x))
+    label = name if name is not None else f"cartesian({first.name}, {second.name})"
+    return from_edges(first.n_vertices * n_second, edges, name=label)
+
+
+def tensor_product(first: Graph, second: Graph, *, name: str | None = None) -> Graph:
+    """Tensor (categorical) product ``G × H``.
+
+    ``(u, x) ~ (v, y)`` iff ``u ~ v`` in `G` **and** ``x ~ y`` in `H`.
+    The product of connected non-bipartite graphs is connected; the
+    product with a bipartite factor splits into two components.
+    """
+    n_second = second.n_vertices
+    edges: set[tuple[int, int]] = set()
+    second_edges = list(second.edges())
+    for u, v in first.edges():
+        for x, y in second_edges:
+            a, b = u * n_second + x, v * n_second + y
+            edges.add((min(a, b), max(a, b)))
+            a, b = u * n_second + y, v * n_second + x
+            edges.add((min(a, b), max(a, b)))
+    label = name if name is not None else f"tensor({first.name}, {second.name})"
+    return from_edges(first.n_vertices * n_second, sorted(edges), name=label)
+
+
+def disjoint_union(first: Graph, second: Graph, *, name: str | None = None) -> Graph:
+    """Disjoint union; the second graph's vertices are shifted by ``|G|``."""
+    offset = first.n_vertices
+    edges = list(first.edges()) + [(u + offset, v + offset) for u, v in second.edges()]
+    label = name if name is not None else f"union({first.name}, {second.name})"
+    return from_edges(first.n_vertices + second.n_vertices, edges, name=label)
+
+
+def complement(graph: Graph, *, name: str | None = None) -> Graph:
+    """Complement graph (no self-loops).
+
+    Rejects graphs on fewer than 2 vertices, where the complement is
+    edgeless anyway.
+    """
+    n = graph.n_vertices
+    if n < 2:
+        raise GraphConstructionError("complement needs at least two vertices")
+    edges = [
+        (u, v)
+        for u in range(n)
+        for v in range(u + 1, n)
+        if not graph.has_edge(u, v)
+    ]
+    label = name if name is not None else f"complement({graph.name})"
+    return from_edges(n, edges, name=label)
+
+
+def line_graph(graph: Graph, *, name: str | None = None) -> Graph:
+    """Line graph ``L(G)``: one vertex per edge, adjacent iff edges share
+    an endpoint.
+
+    For an `r`-regular `G`, ``L(G)`` is ``(2r−2)``-regular with
+    ``|E(G)|`` vertices — a cheap way to build larger regular graphs
+    from small ones.
+    """
+    edge_list = list(graph.edges())
+    index_of = {edge: i for i, edge in enumerate(edge_list)}
+    edges: set[tuple[int, int]] = set()
+    # Two edges are adjacent iff they share an endpoint: group by endpoint.
+    incident: list[list[int]] = [[] for _ in range(graph.n_vertices)]
+    for i, (u, v) in enumerate(edge_list):
+        incident[u].append(i)
+        incident[v].append(i)
+    for group in incident:
+        for a_index in range(len(group)):
+            for b_index in range(a_index + 1, len(group)):
+                a, b = group[a_index], group[b_index]
+                edges.add((min(a, b), max(a, b)))
+    label = name if name is not None else f"line({graph.name})"
+    if not edge_list:
+        raise GraphConstructionError("line graph of an edgeless graph is empty")
+    return from_edges(len(edge_list), sorted(edges), name=label)
+
+
+def product_transition_eigenvalues(
+    first_eigenvalues: np.ndarray,
+    first_degree: int,
+    second_eigenvalues: np.ndarray,
+    second_degree: int,
+) -> np.ndarray:
+    """Transition spectrum of a Cartesian product of regular graphs.
+
+    ``(r λ_i + s μ_j) / (r + s)`` over all index pairs, sorted
+    non-increasing — the analytic cross-check used by the tests.
+    """
+    first_eigenvalues = np.asarray(first_eigenvalues, dtype=np.float64)
+    second_eigenvalues = np.asarray(second_eigenvalues, dtype=np.float64)
+    combined = (
+        first_degree * first_eigenvalues[:, None]
+        + second_degree * second_eigenvalues[None, :]
+    ) / (first_degree + second_degree)
+    return np.sort(combined.ravel())[::-1]

@@ -1,0 +1,116 @@
+"""Structural graph properties: connectivity, bipartiteness, distances."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphPropertyError
+from repro.graphs.base import Graph
+
+
+def _bfs_levels(graph: Graph, source: int) -> np.ndarray:
+    """BFS distance from ``source`` to every vertex (-1 if unreachable)."""
+    n = graph.n_vertices
+    levels = np.full(n, -1, dtype=np.int64)
+    levels[source] = 0
+    frontier = np.array([source], dtype=np.int64)
+    depth = 0
+    indptr, indices = graph.indptr, graph.indices
+    while frontier.size:
+        depth += 1
+        # Gather all neighbours of the frontier in one vectorised pass.
+        counts = indptr[frontier + 1] - indptr[frontier]
+        total = int(counts.sum())
+        if total == 0:
+            break
+        gather = np.empty(total, dtype=np.int64)
+        cursor = 0
+        for u, count in zip(frontier, counts):
+            gather[cursor : cursor + count] = indices[indptr[u] : indptr[u] + count]
+            cursor += count
+        fresh = np.unique(gather[levels[gather] < 0])
+        levels[fresh] = depth
+        frontier = fresh
+    return levels
+
+
+def is_connected(graph: Graph) -> bool:
+    """Whether the graph has a single connected component."""
+    return bool(np.all(_bfs_levels(graph, 0) >= 0))
+
+
+def connected_components(graph: Graph) -> list[np.ndarray]:
+    """Connected components as sorted vertex arrays, largest-root first."""
+    n = graph.n_vertices
+    assigned = np.full(n, -1, dtype=np.int64)
+    components: list[np.ndarray] = []
+    for start in range(n):
+        if assigned[start] >= 0:
+            continue
+        levels = _bfs_levels(graph, start)
+        members = np.flatnonzero(levels >= 0)
+        assigned[members] = len(components)
+        components.append(members)
+    return components
+
+
+def is_bipartite(graph: Graph) -> bool:
+    """Whether the graph is 2-colourable (checked by BFS parity)."""
+    n = graph.n_vertices
+    color = np.full(n, -1, dtype=np.int8)
+    for start in range(n):
+        if color[start] >= 0:
+            continue
+        color[start] = 0
+        stack = [start]
+        while stack:
+            u = stack.pop()
+            for v in graph.neighbors(u):
+                v = int(v)
+                if color[v] < 0:
+                    color[v] = 1 - color[u]
+                    stack.append(v)
+                elif color[v] == color[u]:
+                    return False
+    return True
+
+
+def eccentricity(graph: Graph, vertex: int) -> int:
+    """Largest BFS distance from ``vertex``; requires connectivity."""
+    levels = _bfs_levels(graph, vertex)
+    if np.any(levels < 0):
+        raise GraphPropertyError("eccentricity is undefined on a disconnected graph")
+    return int(levels.max())
+
+
+def diameter(graph: Graph, *, sample_size: int | None = None, seed: int | None = None) -> int:
+    """Graph diameter (exact by default; sampled lower bound if requested).
+
+    Parameters
+    ----------
+    graph:
+        A connected graph.
+    sample_size:
+        When given, compute eccentricities only from this many random
+        vertices, returning a lower bound on the diameter.  Use for
+        large graphs where all-pairs BFS is too slow.
+    seed:
+        Seed for the sampled variant.
+    """
+    n = graph.n_vertices
+    if sample_size is None:
+        sources = range(n)
+    else:
+        rng = np.random.default_rng(seed)
+        size = min(sample_size, n)
+        sources = rng.choice(n, size=size, replace=False)
+    best = 0
+    for source in sources:
+        best = max(best, eccentricity(graph, int(source)))
+    return best
+
+
+def degree_histogram(graph: Graph) -> dict[int, int]:
+    """Map from degree value to the number of vertices with that degree."""
+    values, counts = np.unique(graph.degrees, return_counts=True)
+    return {int(value): int(count) for value, count in zip(values, counts)}

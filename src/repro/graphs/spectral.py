@@ -1,0 +1,345 @@
+"""Spectral tools: `λ`, spectral gap, mixing/conductance bounds.
+
+The paper's bounds are stated in terms of
+``λ = max_{i >= 2} |λ_i(P)}`` where ``P = A/r`` is the random-walk
+transition matrix of an `r`-regular graph.  For irregular graphs the
+routines here use the symmetric normalisation
+``N = D^{-1/2} A D^{-1/2}``, which shares its spectrum with
+``P = D^{-1} A`` and keeps everything real-symmetric.
+
+Three computation paths are provided:
+
+* dense (``numpy.linalg.eigvalsh``) — exact, for `n` up to a few
+  thousand;
+* sparse (``scipy.sparse.linalg.eigsh``) — the two extreme eigenvalues
+  of large graphs;
+* power iteration with deflation — a dependency-light estimate used as
+  a cross-check in tests.
+
+Closed-form spectra for the structured families
+(:func:`analytic_lambda`) let the tests validate the numeric paths to
+machine precision.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import GraphPropertyError
+from repro.graphs.base import Graph
+
+#: Above this many vertices, ``lambda_second(method="auto")`` switches
+#: from the dense eigensolver to the sparse one.
+DENSE_LIMIT = 1500
+
+
+def adjacency_matrix(graph: Graph, *, sparse: bool = False):
+    """Adjacency matrix as a dense array or ``scipy.sparse.csr_matrix``."""
+    n = graph.n_vertices
+    if sparse:
+        from scipy.sparse import csr_matrix
+
+        data = np.ones(graph.indices.size, dtype=np.float64)
+        return csr_matrix((data, graph.indices, graph.indptr), shape=(n, n))
+    dense = np.zeros((n, n), dtype=np.float64)
+    for u in range(n):
+        dense[u, graph.neighbors(u)] = 1.0
+    return dense
+
+
+def transition_matrix(graph: Graph, *, sparse: bool = False):
+    """Random-walk transition matrix ``P = D^{-1} A``."""
+    if graph.min_degree == 0:
+        raise GraphPropertyError("transition matrix undefined with isolated vertices")
+    adjacency = adjacency_matrix(graph, sparse=sparse)
+    inverse_degrees = 1.0 / graph.degrees.astype(np.float64)
+    if sparse:
+        from scipy.sparse import diags
+
+        return diags(inverse_degrees) @ adjacency
+    return inverse_degrees[:, None] * adjacency
+
+
+def _normalized_adjacency(graph: Graph, *, sparse: bool = False):
+    """Symmetric normalisation ``D^{-1/2} A D^{-1/2}`` (same spectrum as P)."""
+    if graph.min_degree == 0:
+        raise GraphPropertyError("normalised adjacency undefined with isolated vertices")
+    adjacency = adjacency_matrix(graph, sparse=sparse)
+    scale = 1.0 / np.sqrt(graph.degrees.astype(np.float64))
+    if sparse:
+        from scipy.sparse import diags
+
+        half = diags(scale)
+        return half @ adjacency @ half
+    return scale[:, None] * adjacency * scale[None, :]
+
+
+def eigenvalues(graph: Graph) -> np.ndarray:
+    """All eigenvalues of the transition matrix, non-increasing.
+
+    Dense computation; intended for graphs up to a few thousand
+    vertices.
+    """
+    spectrum = np.linalg.eigvalsh(_normalized_adjacency(graph))
+    return spectrum[::-1]
+
+
+def lambda_second(graph: Graph, *, method: str = "auto") -> float:
+    """``λ = max_{i >= 2} |λ_i|`` of the transition matrix.
+
+    Parameters
+    ----------
+    graph:
+        A connected graph (disconnected graphs have a repeated
+        eigenvalue 1, which this routine reports as ``λ = 1``).
+    method:
+        ``"dense"``, ``"sparse"``, ``"power"`` or ``"auto"``
+        (dense below :data:`DENSE_LIMIT` vertices, sparse above).
+    """
+    if method == "auto":
+        method = "dense" if graph.n_vertices <= DENSE_LIMIT else "sparse"
+    if method == "dense":
+        spectrum = eigenvalues(graph)
+        return float(max(abs(spectrum[1]), abs(spectrum[-1])))
+    if method == "sparse":
+        return _lambda_second_sparse(graph)
+    if method == "power":
+        return _lambda_second_power(graph)
+    raise ValueError(f"unknown method {method!r}; expected auto/dense/sparse/power")
+
+
+def _lambda_second_sparse(graph: Graph) -> float:
+    """Extreme eigenvalues via Lanczos on the sparse normalised adjacency."""
+    from scipy.sparse.linalg import eigsh
+
+    matrix = _normalized_adjacency(graph, sparse=True)
+    # Two algebraically largest (1 and λ_2) and the smallest (λ_n).
+    top = eigsh(matrix, k=2, which="LA", return_eigenvectors=False, tol=1e-10)
+    bottom = eigsh(matrix, k=1, which="SA", return_eigenvectors=False, tol=1e-10)
+    second_largest = float(np.sort(top)[0])
+    smallest = float(bottom[0])
+    return max(abs(second_largest), abs(smallest))
+
+
+def _lambda_second_power(
+    graph: Graph, *, iterations: int = 2000, tolerance: float = 1e-10, seed: int = 0
+) -> float:
+    """Power iteration with the stationary eigenvector deflated.
+
+    The principal eigenvector of ``N = D^{-1/2} A D^{-1/2}`` is
+    ``D^{1/2} 1`` normalised; projecting it out and power-iterating
+    ``N`` converges to the second-largest *absolute* eigenvalue.
+    """
+    matrix = _normalized_adjacency(graph, sparse=graph.n_vertices > DENSE_LIMIT)
+    principal = np.sqrt(graph.degrees.astype(np.float64))
+    principal /= np.linalg.norm(principal)
+    rng = np.random.default_rng(seed)
+    vector = rng.standard_normal(graph.n_vertices)
+    vector -= principal * (principal @ vector)
+    vector /= np.linalg.norm(vector)
+    estimate = 0.0
+    for _ in range(iterations):
+        vector = matrix @ vector
+        vector -= principal * (principal @ vector)
+        norm = float(np.linalg.norm(vector))
+        if norm == 0.0:
+            return 0.0
+        vector /= norm
+        if abs(norm - estimate) < tolerance:
+            return norm
+        estimate = norm
+    return estimate
+
+
+def spectral_gap(graph: Graph, *, method: str = "auto") -> float:
+    """``1 - λ``; positive exactly when the graph mixes (non-bipartite, connected)."""
+    return 1.0 - lambda_second(graph, method=method)
+
+
+def mixing_time_bound(graph: Graph, epsilon: float = 0.25, *, method: str = "auto") -> float:
+    """Standard upper bound ``log(n / ε) / (1 - λ)`` on the mixing time."""
+    if not 0 < epsilon < 1:
+        raise ValueError(f"epsilon must be in (0, 1), got {epsilon}")
+    gap = spectral_gap(graph, method=method)
+    if gap <= 0:
+        raise GraphPropertyError("mixing time is infinite: spectral gap is zero")
+    return math.log(graph.n_vertices / epsilon) / gap
+
+
+def cheeger_bounds(graph: Graph, *, method: str = "auto") -> tuple[float, float]:
+    """Cheeger inequalities: conductance ``Φ`` obeys ``gap/2 <= Φ <= sqrt(2 gap)``.
+
+    The gap here is the *algebraic* one, ``1 - λ_2`` (not ``1 - λ``),
+    as in the standard statement of the inequality.
+    """
+    if method == "auto":
+        method = "dense" if graph.n_vertices <= DENSE_LIMIT else "sparse"
+    if method == "dense":
+        second = float(eigenvalues(graph)[1])
+    else:
+        from scipy.sparse.linalg import eigsh
+
+        top = eigsh(
+            _normalized_adjacency(graph, sparse=True),
+            k=2,
+            which="LA",
+            return_eigenvectors=False,
+            tol=1e-10,
+        )
+        second = float(np.sort(top)[0])
+    gap = 1.0 - second
+    return (gap / 2.0, math.sqrt(max(2.0 * gap, 0.0)))
+
+
+def conductance(graph: Graph) -> float:
+    """Exact conductance by subset enumeration (tiny graphs only, `n <= 20`).
+
+    ``Φ(G) = min over cuts S with vol(S) <= vol(V)/2 of cut(S)/vol(S)``.
+    """
+    n = graph.n_vertices
+    if n > 20:
+        raise GraphPropertyError(f"exact conductance enumerates 2^n subsets; n={n} > 20")
+    degrees = graph.degrees.astype(np.int64)
+    total_volume = int(degrees.sum())
+    best = math.inf
+    for mask in range(1, (1 << n) - 1):
+        members = [u for u in range(n) if mask >> u & 1]
+        volume = int(degrees[members].sum())
+        if volume == 0 or volume > total_volume // 2:
+            continue
+        cut = 0
+        for u in members:
+            for v in graph.neighbors(u):
+                if not (mask >> int(v)) & 1:
+                    cut += 1
+        best = min(best, cut / volume)
+    return float(best)
+
+
+def random_walk_hitting_times(graph: Graph) -> np.ndarray:
+    """Exact expected hitting times ``H[u, v] = E_u[time to reach v]``.
+
+    Computed from the Moore–Penrose pseudoinverse of the graph
+    Laplacian: ``H[u, v] = Σ_w d(w) (L⁺[v, v] − L⁺[u, v] + L⁺[u, w] −
+    L⁺[v, w])`` — the standard electrical-network formula, valid for
+    any connected graph.  Dense computation; intended for graphs up to
+    a few thousand vertices.
+
+    These are the `k = 1` ground truth the COBRA baseline comparisons
+    and the exact engines are checked against.
+    """
+    from repro.graphs.properties import is_connected
+
+    if not is_connected(graph):
+        raise GraphPropertyError("hitting times are infinite on a disconnected graph")
+    n = graph.n_vertices
+    degrees = graph.degrees.astype(np.float64)
+    laplacian = np.diag(degrees) - adjacency_matrix(graph)
+    pseudo = np.linalg.pinv(laplacian)
+    # H[u, v] = sum_w d(w) * (L+[v,v] - L+[u,v] + L+[u,w] - L+[v,w])
+    weighted_row = pseudo @ degrees  # (L+ d)[x] = sum_w L+[x, w] d(w)
+    total_degree = degrees.sum()
+    diagonal = np.diag(pseudo)
+    hitting = (
+        total_degree * (diagonal[None, :] - pseudo)
+        + weighted_row[:, None]
+        - weighted_row[None, :]
+    )
+    np.fill_diagonal(hitting, 0.0)
+    return hitting
+
+
+def random_walk_cover_time_bounds(graph: Graph) -> tuple[float, float]:
+    """Matthews' bounds on the cover time of a simple random walk.
+
+    ``max_{u,v} H[u,v] / H_n <= t_cov <= max_{u,v} H[u,v] * H_n`` —
+    returned as ``(lower, upper)`` with ``H_n`` the `n`-th harmonic
+    number.  Used to sanity-band the measured `k = 1` baseline.
+    """
+    hitting = random_walk_hitting_times(graph)
+    worst = float(hitting.max())
+    n = graph.n_vertices
+    harmonic = float(np.sum(1.0 / np.arange(1, n + 1)))
+    # Matthews: t_cov <= H_{n-1} * max hit; lower bound uses the
+    # minimum over subsets, for which max-hit / H_n is a safe relaxation.
+    return worst / harmonic, worst * harmonic
+
+
+# ----------------------------------------------------------------------
+# Closed-form spectra for structured families (used to validate the
+# numeric paths and to build graphs with a *known* spectral gap).
+# ----------------------------------------------------------------------
+
+
+def analytic_lambda(family: str, **params) -> float:
+    """Closed-form ``λ`` for a structured family.
+
+    Supported families and parameters:
+
+    * ``"complete"`` (``n``) — ``1 / (n - 1)``.
+    * ``"cycle"`` (``n``) — ``cos(π/n)`` for odd `n` (the most negative
+      eigenvalue dominates); 1 for even `n` (bipartite).
+    * ``"circulant"`` (``n``, ``offsets``) — max over non-trivial
+      characters.
+    * ``"hypercube"`` (``dimension``) — 1 (bipartite).
+    * ``"torus"`` (``side_lengths``) — max over non-trivial characters
+      of the product chain.
+    * ``"petersen"`` — 2/3.
+    * ``"complete_bipartite"`` (``a``, ``b``) — 1 (bipartite).
+    """
+    if family == "complete":
+        n = params["n"]
+        return 1.0 / (n - 1)
+    if family == "cycle":
+        n = params["n"]
+        return _circulant_lambda(n, (1,))
+    if family == "circulant":
+        return _circulant_lambda(params["n"], tuple(params["offsets"]))
+    if family == "hypercube":
+        return 1.0
+    if family == "torus":
+        return _torus_lambda(tuple(params["side_lengths"]))
+    if family == "petersen":
+        return 2.0 / 3.0
+    if family == "complete_bipartite":
+        return 1.0
+    raise ValueError(f"no analytic spectrum known for family {family!r}")
+
+
+def _circulant_lambda(n: int, offsets: Sequence[int]) -> float:
+    """``λ`` of the circulant ``C_n(offsets)`` via character sums."""
+    cleaned = sorted({int(s) for s in offsets})
+    degree = sum(1 if 2 * s == n else 2 for s in cleaned)
+    worst = 0.0
+    for j in range(1, n):
+        value = 0.0
+        for s in cleaned:
+            if 2 * s == n:
+                value += math.cos(math.pi * j)
+            else:
+                value += 2.0 * math.cos(2.0 * math.pi * j * s / n)
+        worst = max(worst, abs(value) / degree)
+    return worst
+
+
+def _torus_lambda(side_lengths: tuple[int, ...]) -> float:
+    """``λ`` of the `d`-dimensional torus via product-chain characters.
+
+    Transition eigenvalues are
+    ``(1/d) * Σ_a cos(2π j_a / L_a)`` over frequency vectors ``j``.
+    """
+    import itertools
+
+    d = len(side_lengths)
+    worst = 0.0
+    for frequencies in itertools.product(*[range(side) for side in side_lengths]):
+        if all(f == 0 for f in frequencies):
+            continue
+        value = sum(
+            math.cos(2.0 * math.pi * f / side) for f, side in zip(frequencies, side_lengths)
+        )
+        worst = max(worst, abs(value) / d)
+    return worst

@@ -1,0 +1,33 @@
+"""Closed-form bounds and exact one-step expectations from the paper."""
+
+from repro.theory.bounds import (
+    cover_time_bound,
+    dutta_cover_bound,
+    fractional_growth_bound,
+    growth_lower_bound,
+    lemma2_round_budget,
+    lemma3_round_budget,
+    lemma4_round_budget,
+    phase_boundary_size,
+    spectral_condition_holds,
+)
+from repro.theory.growth import (
+    expected_next_infected_size,
+    growth_bound_ratio,
+    minimum_growth_ratio,
+)
+
+__all__ = [
+    "cover_time_bound",
+    "dutta_cover_bound",
+    "growth_lower_bound",
+    "fractional_growth_bound",
+    "lemma2_round_budget",
+    "lemma3_round_budget",
+    "lemma4_round_budget",
+    "phase_boundary_size",
+    "spectral_condition_holds",
+    "expected_next_infected_size",
+    "growth_bound_ratio",
+    "minimum_growth_ratio",
+]

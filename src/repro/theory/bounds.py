@@ -1,0 +1,124 @@
+"""The paper's closed-form bounds, verbatim.
+
+Every formula in the paper's statements is reproduced here with its
+source noted, so experiments can compare measurements against the
+exact expressions (including the paper's explicit constants, which are
+deliberately loose — the experiments check *shape*, the constants give
+an upper envelope).
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def cover_time_bound(n: int, lam: float) -> float:
+    """Theorem 1 / 2 order function ``T = log(n) / (1 - λ)^3``.
+
+    The theorems state ``COV(G) = O(T)`` and ``Infec(G) = O(T)``; this
+    returns ``T`` itself (constant 1).
+    """
+    _check_n_lam(n, lam)
+    return math.log(n) / (1.0 - lam) ** 3
+
+
+def dutta_cover_bound(n: int) -> float:
+    """Prior-work bound: Dutta et al. (SPAA 2013) proved `O(log² n)` for
+    COBRA `k = 2` on constant-degree expanders.
+
+    Returned as ``log²(n)`` (constant 1); Theorem 1 improves this to
+    ``log n``, which the E1 measurements make visible — the measured
+    cover times scale like ``log n``, well under this envelope.
+    """
+    if n < 2:
+        raise ValueError(f"n must be >= 2, got {n}")
+    return math.log(n) ** 2
+
+
+def spectral_condition_holds(n: int, lam: float, *, constant: float = 1.0) -> bool:
+    """The theorems' hypothesis ``1 - λ >= C sqrt(log(n) / n)``.
+
+    The paper writes ``1 - λ ≫ sqrt(log n / n)``; ``constant`` plays
+    the role of the suppressed "suitably large" ``C``.
+    """
+    _check_n_lam(n, lam)
+    return (1.0 - lam) >= constant * math.sqrt(math.log(n) / n)
+
+
+def growth_lower_bound(size: float, n: int, lam: float) -> float:
+    """Lemma 1: ``E(|A_{t+1}| | A_t = A) >= |A| (1 + (1 - λ²)(1 - |A|/n))``.
+
+    Valid for BIPS with ``k = 2`` on a connected regular graph.
+    ``λ = 1`` (bipartite) is accepted: the bound degenerates to
+    ``E >= |A|``, which the spectral argument still yields.
+    """
+    _check_n_lam(n, lam, allow_one=True)
+    if not 0 <= size <= n:
+        raise ValueError(f"size must be in [0, {n}], got {size}")
+    return size * (1.0 + (1.0 - lam**2) * (1.0 - size / n))
+
+
+def fractional_growth_bound(size: float, n: int, lam: float, rho: float) -> float:
+    """Corollary 1: growth bound for branching ``1 + ρ``.
+
+    ``E(|A_{t+1}| | A_t = A) >= |A| (1 + ρ (1 - λ²)(1 - |A|/n))``.
+    """
+    _check_n_lam(n, lam, allow_one=True)
+    if not 0.0 <= rho <= 1.0:
+        raise ValueError(f"rho must be in [0, 1], got {rho}")
+    if not 0 <= size <= n:
+        raise ValueError(f"size must be in [0, {n}], got {size}")
+    return size * (1.0 + rho * (1.0 - lam**2) * (1.0 - size / n))
+
+
+def lemma2_round_budget(m: float, n: int, lam: float, *, confidence: float = 1.0) -> float:
+    """Lemma 2: rounds to grow the infected set beyond ``m <= n/2``.
+
+    ``T = 13 m / (1 - λ) + 24 C log(n) / (1 - λ)²`` guarantees
+    ``|A_t| > m`` for some ``t <= T`` with probability
+    ``1 - O(n^{-C})``; ``confidence`` is the paper's ``C``.
+    """
+    _check_n_lam(n, lam)
+    if m <= 0:
+        raise ValueError(f"m must be positive, got {m}")
+    gap = 1.0 - lam
+    return 13.0 * m / gap + 24.0 * confidence * math.log(n) / gap**2
+
+
+def phase_boundary_size(n: int, lam: float, *, constant: float = 4000.0) -> float:
+    """The small/large phase boundary ``m = K log(n) / (1 - λ)²``.
+
+    Lemma 3 requires ``K = 4000`` (the paper's explicit constant); the
+    proof of Theorem 2 applies Lemma 2 with this ``m``.
+    """
+    _check_n_lam(n, lam)
+    return constant * math.log(n) / (1.0 - lam) ** 2
+
+
+def lemma3_round_budget(n: int, lam: float) -> float:
+    """Lemma 3: rounds from the phase boundary to ``9n/10`` coverage.
+
+    ``23 log(n) / (1 - λ)`` rounds suffice w.h.p. once
+    ``|A_t| >= 4000 log(n)/(1-λ)²``.
+    """
+    _check_n_lam(n, lam)
+    return 23.0 * math.log(n) / (1.0 - lam)
+
+
+def lemma4_round_budget(n: int, lam: float) -> float:
+    """Lemma 4: rounds from ``9n/10`` coverage to full infection.
+
+    ``8 log(n) / (1 - λ)`` rounds suffice with probability
+    ``1 - n^{-5}``.
+    """
+    _check_n_lam(n, lam)
+    return 8.0 * math.log(n) / (1.0 - lam)
+
+
+def _check_n_lam(n: int, lam: float, *, allow_one: bool = False) -> None:
+    if n < 2:
+        raise ValueError(f"n must be >= 2, got {n}")
+    upper_ok = lam <= 1.0 if allow_one else lam < 1.0
+    if not (0.0 <= lam and upper_ok):
+        bracket = "[0, 1]" if allow_one else "[0, 1)"
+        raise ValueError(f"lambda must be in {bracket}, got {lam}")

@@ -1,0 +1,60 @@
+"""Tests for the ASCII figure renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.ascii_plot import ascii_plot
+
+
+class TestAsciiPlot:
+    def test_basic_structure(self):
+        figure = ascii_plot(
+            {"line": ([1, 2, 3], [1, 4, 9])},
+            title="squares",
+            x_label="x",
+            y_label="y",
+        )
+        assert "squares" in figure
+        assert "legend: o line" in figure
+        assert "o" in figure
+
+    def test_two_series_use_distinct_glyphs(self):
+        figure = ascii_plot(
+            {"a": ([1, 2], [1, 2]), "b": ([1, 2], [2, 1])},
+        )
+        assert "o a" in figure
+        assert "x b" in figure
+
+    def test_log_axes_annotated(self):
+        figure = ascii_plot(
+            {"s": ([1, 10, 100], [1, 10, 100])}, log_x=True, log_y=True
+        )
+        assert "(log)" in figure
+
+    def test_log_drops_nonpositive_points(self):
+        figure = ascii_plot(
+            {"s": ([0, 1, 10], [5, 1, 10])}, log_x=True
+        )
+        assert figure  # the zero-x point is silently dropped
+
+    def test_all_points_invalid_raises(self):
+        with pytest.raises(ValueError, match="no plottable points"):
+            ascii_plot({"s": ([-1, -2], [1, 2])}, log_x=True)
+
+    def test_empty_series_mapping_rejected(self):
+        with pytest.raises(ValueError, match="at least one series"):
+            ascii_plot({})
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError, match="too small"):
+            ascii_plot({"s": ([1], [1])}, width=2, height=2)
+
+    def test_constant_series_does_not_crash(self):
+        figure = ascii_plot({"flat": ([1, 2, 3], [5, 5, 5])})
+        assert "flat" in figure
+
+    def test_plot_width_respected(self):
+        figure = ascii_plot({"s": ([1, 2], [1, 2])}, width=30, height=8)
+        plot_lines = [line for line in figure.splitlines() if "|" in line]
+        assert all(len(line.split("|", 1)[1]) <= 30 for line in plot_lines)

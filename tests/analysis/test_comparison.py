@@ -1,0 +1,90 @@
+"""Tests for the two-sample comparison helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.comparison import (
+    compare_completion_times,
+    mann_whitney,
+    welch_t_test,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestWelch:
+    def test_detects_clear_difference(self, rng):
+        a = rng.normal(10, 1, size=100)
+        b = rng.normal(14, 1, size=100)
+        result = welch_t_test(a, b)
+        assert result.direction == "A < B"
+        assert result.significant
+        assert result.p_value < 1e-6
+
+    def test_inconclusive_on_same_distribution(self, rng):
+        a = rng.normal(10, 1, size=60)
+        b = rng.normal(10, 1, size=60)
+        result = welch_t_test(a, b, alpha=0.01)
+        # Same distribution: with alpha 1% a false positive is unlikely.
+        assert result.direction == "inconclusive"
+
+    def test_unequal_variances_handled(self, rng):
+        a = rng.normal(10, 0.1, size=50)
+        b = rng.normal(12, 8.0, size=50)
+        result = welch_t_test(a, b)
+        assert result.mean_a < result.mean_b
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least two"):
+            welch_t_test([1.0], [1.0, 2.0])
+
+
+class TestMannWhitney:
+    def test_detects_stochastic_dominance(self, rng):
+        a = rng.geometric(0.5, size=200)
+        b = rng.geometric(0.2, size=200)  # stochastically larger
+        result = mann_whitney(a, b)
+        assert result.direction == "A < B"
+        assert result.significant
+
+    def test_robust_to_outliers(self, rng):
+        a = np.concatenate([rng.normal(10, 1, size=99), [10_000.0]])
+        b = rng.normal(12, 1, size=100)
+        result = mann_whitney(a, b)
+        # The single huge outlier must not flip the rank-based verdict.
+        assert result.direction == "A < B"
+
+    def test_str_contains_verdict(self, rng):
+        result = mann_whitney(rng.normal(size=20), rng.normal(size=20))
+        assert "mann-whitney" in str(result)
+        assert "p=" in str(result)
+
+
+class TestDefaultComparison:
+    def test_uses_rank_based_method(self, rng):
+        result = compare_completion_times(
+            rng.geometric(0.5, size=50), rng.geometric(0.5, size=50)
+        )
+        assert result.method == "mann-whitney"
+
+    def test_real_processes_k1_vs_k2(self):
+        # The E9 headline, now with significance: k=2 beats k=1.
+        from repro.core.cobra import CobraProcess
+        from repro.core.runner import sample_completion_times
+        from repro.graphs.generators import random_regular
+
+        graph = random_regular(64, 4, seed=1)
+        k1 = sample_completion_times(
+            lambda rng: CobraProcess(graph, 0, branching=1.0, seed=rng), 15, seed=0
+        )
+        k2 = sample_completion_times(
+            lambda rng: CobraProcess(graph, 0, branching=2.0, seed=rng), 15, seed=1
+        )
+        result = compare_completion_times(k2, k1)
+        assert result.direction == "A < B"
+        assert result.significant

@@ -1,0 +1,73 @@
+"""Tests for the regression helpers in :mod:`repro.analysis.fitting`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.fitting import fit_linear, fit_log_linear, fit_power_law
+
+
+class TestFitLinear:
+    def test_recovers_exact_line(self):
+        x = np.array([1.0, 2.0, 3.0, 4.0])
+        fit = fit_linear(x, 2.5 * x + 1.0)
+        assert fit.slope == pytest.approx(2.5)
+        assert fit.intercept == pytest.approx(1.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_r_squared_degrades_with_noise(self):
+        rng = np.random.default_rng(0)
+        x = np.linspace(0, 10, 50)
+        clean = fit_linear(x, 2 * x)
+        noisy = fit_linear(x, 2 * x + rng.normal(scale=5.0, size=50))
+        assert noisy.r_squared < clean.r_squared
+
+    def test_predict(self):
+        fit = fit_linear([0.0, 1.0], [1.0, 3.0])
+        assert fit.predict(2.0) == pytest.approx(5.0)
+        assert np.allclose(fit.predict(np.array([0.0, 1.0])), [1.0, 3.0])
+
+    def test_constant_response(self):
+        fit = fit_linear([1.0, 2.0, 3.0], [4.0, 4.0, 4.0])
+        assert fit.slope == pytest.approx(0.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="equal-length"):
+            fit_linear([1.0, 2.0], [1.0])
+        with pytest.raises(ValueError, match="two points"):
+            fit_linear([1.0], [1.0])
+        with pytest.raises(ValueError, match="identical"):
+            fit_linear([2.0, 2.0], [1.0, 3.0])
+
+    def test_str(self):
+        assert "R²" in str(fit_linear([0.0, 1.0], [0.0, 1.0]))
+
+
+class TestFitLogLinear:
+    def test_recovers_log_relation(self):
+        n = np.array([64, 128, 256, 512, 1024], dtype=float)
+        times = 3.0 * np.log(n) + 7.0
+        fit = fit_log_linear(n, times)
+        assert fit.slope == pytest.approx(3.0)
+        assert fit.intercept == pytest.approx(7.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_rejects_nonpositive_n(self):
+        with pytest.raises(ValueError, match="positive"):
+            fit_log_linear([0.0, 1.0], [1.0, 2.0])
+
+
+class TestFitPowerLaw:
+    def test_recovers_exponent(self):
+        x = np.array([10.0, 100.0, 1000.0])
+        fit = fit_power_law(x, 5.0 * x**0.5)
+        assert fit.slope == pytest.approx(0.5)
+        assert np.exp(fit.intercept) == pytest.approx(5.0)
+
+    def test_rejects_nonpositive_data(self):
+        with pytest.raises(ValueError, match="positive"):
+            fit_power_law([1.0, -2.0], [1.0, 2.0])
+        with pytest.raises(ValueError, match="positive"):
+            fit_power_law([1.0, 2.0], [0.0, 2.0])

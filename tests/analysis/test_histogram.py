@@ -1,0 +1,39 @@
+"""Tests for the ASCII histogram renderer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.ascii_plot import ascii_histogram
+
+
+class TestAsciiHistogram:
+    def test_contains_bars_and_counts(self):
+        rng = np.random.default_rng(0)
+        figure = ascii_histogram(rng.normal(size=500), bins=8)
+        assert figure.count("\n") == 7  # 8 bins, 8 lines
+        assert "#" in figure
+        assert "|" in figure
+
+    def test_title_prepended(self):
+        figure = ascii_histogram([1, 2, 3], bins=3, title="demo")
+        assert figure.splitlines()[0] == "demo"
+
+    def test_counts_sum_to_sample_size(self):
+        rng = np.random.default_rng(1)
+        samples = rng.integers(0, 20, size=300)
+        figure = ascii_histogram(samples, bins=10)
+        counts = [int(line.split("|")[1].split()[0]) for line in figure.splitlines()]
+        assert sum(counts) == 300
+
+    def test_peak_bin_spans_width(self):
+        figure = ascii_histogram([1] * 90 + [5] * 10, bins=2, width=40)
+        first_line = figure.splitlines()[0]
+        assert first_line.count("#") == 40
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            ascii_histogram([])
+        with pytest.raises(ValueError, match="positive"):
+            ascii_histogram([1.0], bins=0)

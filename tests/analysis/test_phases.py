@@ -1,0 +1,58 @@
+"""Tests for the BIPS phase decomposition in :mod:`repro.analysis.phases`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.phases import split_phases
+
+
+class TestSplitPhases:
+    def test_crossings_located(self):
+        sizes = np.array([1, 2, 4, 9, 20, 50, 95, 100])
+        breakdown = split_phases(sizes, 100, boundary_size=10, mid_fraction=0.9)
+        assert breakdown.t_boundary == 4   # first |A_t| >= 10
+        assert breakdown.t_mid == 6        # first |A_t| >= 90
+        assert breakdown.t_full == 7
+
+    def test_durations(self):
+        sizes = np.array([1, 2, 4, 9, 20, 50, 95, 100])
+        breakdown = split_phases(sizes, 100, boundary_size=10)
+        assert breakdown.small_phase_rounds == 4
+        assert breakdown.mid_phase_rounds == 2
+        assert breakdown.endgame_rounds == 1
+
+    def test_missing_crossings_are_none(self):
+        sizes = np.array([1, 2, 3])
+        breakdown = split_phases(sizes, 100, boundary_size=10)
+        assert breakdown.t_boundary is None
+        assert breakdown.mid_phase_rounds is None
+        assert breakdown.endgame_rounds is None
+
+    def test_boundary_met_at_time_zero(self):
+        sizes = np.array([50, 90, 100])
+        breakdown = split_phases(sizes, 100, boundary_size=10)
+        assert breakdown.t_boundary == 0
+        assert breakdown.t_mid == 1
+        assert breakdown.t_full == 2
+
+    def test_non_monotone_trajectory_uses_first_crossing(self):
+        # BIPS sizes can recede; the first crossing is what the lemmas bound.
+        sizes = np.array([1, 12, 8, 15, 95, 80, 100])
+        breakdown = split_phases(sizes, 100, boundary_size=10)
+        assert breakdown.t_boundary == 1
+        assert breakdown.t_mid == 4
+        assert breakdown.t_full == 6
+
+    def test_mid_fraction_configurable(self):
+        sizes = np.array([1, 30, 60, 100])
+        breakdown = split_phases(sizes, 100, boundary_size=5, mid_fraction=0.5)
+        assert breakdown.t_mid == 2
+        assert breakdown.mid_target == pytest.approx(50.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="sizes"):
+            split_phases(np.array([]), 100, boundary_size=5)
+        with pytest.raises(ValueError, match="mid_fraction"):
+            split_phases(np.array([1, 2]), 100, boundary_size=5, mid_fraction=0.0)

@@ -1,0 +1,90 @@
+"""Tests for the tail-analysis helpers (w.h.p. machinery)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.tails import (
+    empirical_survival,
+    fit_geometric_tail,
+    restart_expectation_bound,
+)
+
+
+class TestEmpiricalSurvival:
+    def test_known_sample(self):
+        values, survival = empirical_survival(np.array([1, 1, 2, 3]))
+        assert list(values) == [1, 2, 3]
+        assert survival[0] == pytest.approx(0.5)   # P(X > 1)
+        assert survival[1] == pytest.approx(0.25)  # P(X > 2)
+        assert survival[2] == pytest.approx(0.0)
+
+    def test_monotone_non_increasing(self):
+        rng = np.random.default_rng(0)
+        _, survival = empirical_survival(rng.integers(0, 50, size=500))
+        assert np.all(np.diff(survival) <= 0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            empirical_survival(np.array([]))
+
+
+class TestFitGeometricTail:
+    def test_recovers_geometric_rate(self):
+        rng = np.random.default_rng(1)
+        samples = rng.geometric(p=0.3, size=20000)  # P(X > t) = 0.7^t
+        fit = fit_geometric_tail(samples, threshold_quantile=0.3)
+        assert fit.rate == pytest.approx(0.7, abs=0.03)
+        assert fit.log_fit.r_squared > 0.98
+
+    def test_halving_time(self):
+        rng = np.random.default_rng(2)
+        samples = rng.geometric(p=0.5, size=20000)
+        fit = fit_geometric_tail(samples)
+        assert fit.halving_time == pytest.approx(1.0, abs=0.15)
+
+    def test_threshold_respected(self):
+        rng = np.random.default_rng(3)
+        samples = rng.geometric(p=0.2, size=5000)
+        fit = fit_geometric_tail(samples, threshold_quantile=0.8)
+        assert fit.threshold >= np.quantile(samples, 0.8) - 1e-9
+
+    def test_too_few_tail_points_rejected(self):
+        with pytest.raises(ValueError, match="tail points"):
+            fit_geometric_tail(np.array([5.0] * 100))
+
+    def test_non_geometric_data_still_yields_valid_rate(self):
+        # A uniform sample has a linearly (not geometrically) decaying
+        # survival function; the fit still returns a rate in (0, 1) —
+        # callers judge shape via log_fit.r_squared, not by exceptions.
+        samples = np.concatenate([np.arange(1, 1001), np.arange(1, 1001)])
+        fit = fit_geometric_tail(samples, threshold_quantile=0.0)
+        assert 0.0 < fit.rate < 1.0
+        assert fit.n_tail_points > 100
+
+    def test_quantile_validation(self):
+        with pytest.raises(ValueError, match="threshold_quantile"):
+            fit_geometric_tail(np.array([1.0, 2.0, 3.0]), threshold_quantile=1.0)
+
+
+class TestRestartBound:
+    def test_formula(self):
+        # T / (1 - q)^2
+        assert restart_expectation_bound(10.0, 0.5) == pytest.approx(40.0)
+
+    def test_zero_failure_gives_window(self):
+        assert restart_expectation_bound(7.0, 0.0) == pytest.approx(7.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="window"):
+            restart_expectation_bound(0.0, 0.1)
+        with pytest.raises(ValueError, match="failure_probability"):
+            restart_expectation_bound(1.0, 1.0)
+
+    def test_dominates_geometric_expectation(self):
+        # For a true restart process, E[X] = sum_j q^j (geometric windows)
+        # is below the bound.
+        window, q = 5.0, 0.3
+        exact = window * sum(q**j for j in range(100)) / 1.0
+        assert exact <= restart_expectation_bound(window, q)

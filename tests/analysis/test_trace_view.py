@@ -1,0 +1,69 @@
+"""Tests for the trace renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.trace_view import render_coverage_bars
+from repro.core.cobra import CobraProcess
+from repro.core.process import RoundRecord, Trace
+from repro.core.runner import run_process
+from repro.graphs import generators
+
+
+def toy_trace(rows):
+    return Trace(
+        RoundRecord(
+            round_index=t,
+            active_count=active,
+            cumulative_count=cumulative,
+            newly_reached=0,
+            transmissions=0,
+        )
+        for t, active, cumulative in rows
+    )
+
+
+class TestRenderCoverageBars:
+    def test_one_line_per_round(self):
+        trace = toy_trace([(1, 1, 2), (2, 2, 5), (3, 3, 10)])
+        rendered = render_coverage_bars(trace, 10)
+        assert len(rendered.splitlines()) == 3
+
+    def test_full_coverage_fills_bar(self):
+        trace = toy_trace([(1, 5, 10)])
+        rendered = render_coverage_bars(trace, 10, width=20)
+        assert rendered.count("#") == 20
+
+    def test_empty_trace(self):
+        assert "(empty trace)" in render_coverage_bars(Trace(), 10)
+
+    def test_elision(self):
+        trace = toy_trace([(t, 1, t) for t in range(1, 101)])
+        rendered = render_coverage_bars(trace, 100, max_rows=10)
+        assert "rounds elided" in rendered
+        lines = rendered.splitlines()
+        assert len(lines) == 11  # 10 rows + elision marker
+        assert "t=  1" in lines[0] or "t=1" in lines[0].replace(" ", "t=1")
+        assert "t=100" in lines[-1]
+
+    def test_no_elision_when_short(self):
+        trace = toy_trace([(1, 1, 1), (2, 1, 2)])
+        rendered = render_coverage_bars(trace, 10, max_rows=10)
+        assert "elided" not in rendered
+
+    def test_real_run(self, small_expander):
+        result = run_process(
+            CobraProcess(small_expander, 0, seed=0), record_trace=True
+        )
+        rendered = render_coverage_bars(result.trace, small_expander.n_vertices)
+        assert f"covered={small_expander.n_vertices}" in rendered.replace(" ", "").replace(
+            "covered=", "covered="
+        ) or str(small_expander.n_vertices) in rendered
+
+    def test_validation(self):
+        trace = toy_trace([(1, 1, 1)])
+        with pytest.raises(ValueError, match="n_vertices"):
+            render_coverage_bars(trace, 0)
+        with pytest.raises(ValueError, match="width"):
+            render_coverage_bars(trace, 5, width=0)

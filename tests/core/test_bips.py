@@ -1,0 +1,129 @@
+"""Tests for :class:`~repro.core.bips.BipsProcess` semantics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.bips import BipsProcess
+from repro.errors import ProcessError
+from repro.graphs import generators
+
+
+class TestInitialState:
+    def test_source_only(self, petersen):
+        process = BipsProcess(petersen, 4, seed=0)
+        assert list(process.active_vertices()) == [4]
+        assert process.source == 4
+        assert process.infection_time is None
+
+    def test_invalid_source(self, petersen):
+        with pytest.raises(ProcessError):
+            BipsProcess(petersen, -1, seed=0)
+
+    def test_invalid_branching(self, petersen):
+        with pytest.raises(ProcessError):
+            BipsProcess(petersen, 0, branching=0.0)
+
+
+class TestStepSemantics:
+    def test_source_always_infected(self, small_expander):
+        process = BipsProcess(small_expander, 5, seed=1)
+        for _ in range(30):
+            process.step()
+            assert process.is_infected(5)
+
+    def test_k2_on_k2_infects_in_one_round(self):
+        # The non-source vertex has a single neighbour (the source), so
+        # every sample hits it: infection is deterministic in one round.
+        graph = generators.complete(2)
+        process = BipsProcess(graph, 0, seed=0)
+        record = process.step()
+        assert record.active_count == 2
+        assert process.infection_time == 1
+
+    def test_infection_refreshes_each_round(self):
+        # On a star with the source at a leaf the centre oscillates:
+        # once infected, all leaves reinfect next round while the centre
+        # (sampling 2 of 7 leaves with only the source surely infected)
+        # frequently drops out — a non-source vertex must both gain and
+        # lose infection under the refresh semantics.
+        graph = generators.star(8)
+        process = BipsProcess(graph, 1, seed=3)
+        centre_states = []
+        for _ in range(300):
+            process.step()
+            centre_states.append(process.is_infected(0))
+        assert any(centre_states)
+        lost = any(
+            was and not now for was, now in zip(centre_states, centre_states[1:])
+        )
+        assert lost, "centre never lost its infection: refresh semantics broken"
+
+    def test_infection_only_spreads_from_infected(self, petersen):
+        process = BipsProcess(petersen, 0, seed=4)
+        previous = process.active_mask
+        for _ in range(10):
+            process.step()
+            current = process.active_mask
+            # A vertex (other than the source) can be infected only if
+            # it has a neighbour in the previous infected set.
+            for u in np.flatnonzero(current):
+                if int(u) == 0:
+                    continue
+                assert any(previous[int(v)] for v in petersen.neighbors(int(u)))
+            previous = current
+
+    def test_record_consistency(self, small_expander):
+        process = BipsProcess(small_expander, 0, seed=5)
+        for _ in range(15):
+            record = process.step()
+            assert record.active_count == process.active_count
+            assert record.cumulative_count == process.cumulative_count
+            assert record.round_index == process.round_index
+
+    def test_transmissions_exclude_source(self, petersen):
+        process = BipsProcess(petersen, 0, branching=2, seed=6)
+        record = process.step()
+        assert record.transmissions == 2 * (petersen.n_vertices - 1)
+
+    def test_fractional_transmissions(self, petersen):
+        process = BipsProcess(petersen, 0, branching=1.5, seed=7)
+        n_others = petersen.n_vertices - 1
+        for _ in range(10):
+            record = process.step()
+            assert n_others <= record.transmissions <= 2 * n_others
+
+
+class TestInfectionTime:
+    def test_full_infection_reached(self, small_expander):
+        process = BipsProcess(small_expander, 0, seed=8)
+        for _ in range(500):
+            if process.is_complete:
+                break
+            process.step()
+        assert process.is_complete
+        assert process.infection_time is not None
+        assert process.completion_time == process.infection_time
+
+    def test_infection_time_recorded_once(self, small_expander):
+        process = BipsProcess(small_expander, 0, seed=9)
+        while not process.is_complete:
+            process.step()
+        first = process.infection_time
+        process.step()
+        assert process.infection_time == first
+
+    def test_cumulative_majorises_active(self, small_expander):
+        process = BipsProcess(small_expander, 0, seed=10)
+        for _ in range(20):
+            record = process.step()
+            assert record.cumulative_count >= record.active_count
+
+
+class TestDeterminism:
+    def test_same_seed_same_trajectory(self, small_expander):
+        a = BipsProcess(small_expander, 0, seed=42)
+        b = BipsProcess(small_expander, 0, seed=42)
+        for _ in range(10):
+            assert a.step() == b.step()

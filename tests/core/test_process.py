@@ -1,0 +1,116 @@
+"""Tests for the shared process framework in :mod:`repro.core.process`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.process import (
+    RoundRecord,
+    Trace,
+    resolve_vertex,
+    resolve_vertex_set,
+    validate_branching,
+)
+from repro.errors import ProcessError
+from repro.graphs import generators
+
+
+def record(t: int, active: int = 1, cumulative: int = 1, new: int = 0, msgs: int = 2):
+    return RoundRecord(
+        round_index=t,
+        active_count=active,
+        cumulative_count=cumulative,
+        newly_reached=new,
+        transmissions=msgs,
+    )
+
+
+class TestValidateBranching:
+    def test_integer_factors(self):
+        assert validate_branching(1) == (1, 0.0)
+        assert validate_branching(2) == (2, 0.0)
+        assert validate_branching(5.0) == (5, 0.0)
+
+    def test_fractional_factors(self):
+        mandatory, rho = validate_branching(1.25)
+        assert mandatory == 1
+        assert rho == pytest.approx(0.25)
+
+    def test_paper_theorem3_form(self):
+        mandatory, rho = validate_branching(1.0 + 0.1)
+        assert mandatory == 1
+        assert rho == pytest.approx(0.1)
+
+    @pytest.mark.parametrize("bad", [0, 0.99, -1, float("nan"), float("inf")])
+    def test_rejects_below_one_and_nonfinite(self, bad):
+        with pytest.raises(ProcessError, match="branching factor"):
+            validate_branching(bad)
+
+
+class TestResolveVertex:
+    def test_valid(self):
+        graph = generators.cycle(5)
+        assert resolve_vertex(graph, 3, role="start") == 3
+
+    def test_out_of_range(self):
+        graph = generators.cycle(5)
+        with pytest.raises(ProcessError, match="start vertex 5"):
+            resolve_vertex(graph, 5, role="start")
+        with pytest.raises(ProcessError, match="out of range"):
+            resolve_vertex(graph, -1, role="start")
+
+    def test_set_from_int(self):
+        graph = generators.cycle(5)
+        assert list(resolve_vertex_set(graph, 2, role="start")) == [2]
+
+    def test_set_deduplicates_and_sorts(self):
+        graph = generators.cycle(5)
+        assert list(resolve_vertex_set(graph, [3, 1, 3], role="start")) == [1, 3]
+
+    def test_empty_set_rejected(self):
+        graph = generators.cycle(5)
+        with pytest.raises(ProcessError, match="non-empty"):
+            resolve_vertex_set(graph, [], role="start")
+
+    def test_out_of_range_set_rejected(self):
+        graph = generators.cycle(5)
+        with pytest.raises(ProcessError, match="out-of-range"):
+            resolve_vertex_set(graph, [0, 7], role="start")
+
+
+class TestTrace:
+    def test_append_and_len(self):
+        trace = Trace()
+        assert len(trace) == 0
+        trace.append(record(1))
+        trace.append(record(2))
+        assert len(trace) == 2
+
+    def test_iteration_and_indexing(self):
+        trace = Trace([record(1), record(2, active=3)])
+        assert [r.round_index for r in trace] == [1, 2]
+        assert trace[1].active_count == 3
+
+    def test_array_views(self):
+        trace = Trace([record(1, active=2, cumulative=3, msgs=4), record(2, active=5, cumulative=6, msgs=7)])
+        assert np.array_equal(trace.active_counts(), [2, 5])
+        assert np.array_equal(trace.cumulative_counts(), [3, 6])
+        assert np.array_equal(trace.transmissions(), [4, 7])
+        assert trace.total_transmissions() == 11
+
+    def test_records_are_tuple(self):
+        trace = Trace([record(1)])
+        assert isinstance(trace.records, tuple)
+
+
+class TestRoundRecord:
+    def test_frozen(self):
+        r = record(1)
+        with pytest.raises(AttributeError):
+            r.active_count = 99
+
+    def test_fields(self):
+        r = record(3, active=4, cumulative=5, new=1, msgs=8)
+        assert (r.round_index, r.active_count, r.cumulative_count) == (3, 4, 5)
+        assert (r.newly_reached, r.transmissions) == (1, 8)

@@ -1,0 +1,76 @@
+"""Tests for the pull-only baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.pull import PullProcess
+from repro.core.push import PushProcess
+from repro.errors import ProcessError
+from repro.graphs import generators
+
+
+class TestPull:
+    def test_informed_monotone(self, small_expander):
+        process = PullProcess(small_expander, 0, seed=0)
+        previous = process.active_mask
+        for _ in range(30):
+            process.step()
+            current = process.active_mask
+            assert np.all(previous <= current)
+            previous = current
+
+    def test_transmissions_count_uninformed(self, petersen):
+        process = PullProcess(petersen, 0, seed=1)
+        record = process.step()
+        assert record.transmissions == 9  # the 9 uninformed vertices asked
+
+    def test_no_asking_once_complete(self):
+        process = PullProcess(generators.complete(3), [0, 1, 2], seed=2)
+        assert process.is_complete
+        record = process.step()
+        assert record.transmissions == 0
+
+    def test_star_from_centre_is_one_round(self):
+        # Every leaf asks the centre, which is informed.
+        process = PullProcess(generators.star(20), 0, seed=3)
+        process.step()
+        assert process.is_complete
+        assert process.completion_time == 1
+
+    def test_star_from_leaf_waits_for_centre(self):
+        # Leaves can only learn via the centre, which must first pull
+        # from the one informed leaf (probability 1/19 per round).
+        process = PullProcess(generators.star(20), 1, seed=4)
+        process.step()
+        assert not process.is_complete
+        assert process.active_count <= 2
+
+    def test_covers_expander(self, small_expander):
+        process = PullProcess(small_expander, 0, seed=5)
+        for _ in range(200):
+            if process.is_complete:
+                break
+            process.step()
+        assert process.is_complete
+
+    def test_endgame_faster_than_push(self, small_expander):
+        # Pull's endgame is fast (stragglers keep asking); from a
+        # half-informed state it should beat push on average.
+        start = list(range(32))  # half of the 64 vertices
+        pull_rounds, push_rounds = [], []
+        for seed in range(10):
+            pull = PullProcess(small_expander, start, seed=seed)
+            while not pull.is_complete:
+                pull.step()
+            pull_rounds.append(pull.completion_time)
+            push = PushProcess(small_expander, start, seed=seed)
+            while not push.is_complete:
+                push.step()
+            push_rounds.append(push.completion_time)
+        assert np.mean(pull_rounds) <= np.mean(push_rounds) + 1
+
+    def test_invalid_start(self, petersen):
+        with pytest.raises(ProcessError):
+            PullProcess(petersen, 42, seed=0)

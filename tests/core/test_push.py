@@ -1,0 +1,103 @@
+"""Tests for the push and push–pull baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.push import PushProcess
+from repro.core.pushpull import PushPullProcess
+from repro.errors import ProcessError
+from repro.graphs import generators
+
+
+class TestPush:
+    def test_informed_set_monotone(self, small_expander):
+        process = PushProcess(small_expander, 0, seed=0)
+        previous = process.active_mask
+        for _ in range(20):
+            process.step()
+            current = process.active_mask
+            assert np.all(previous <= current)
+            previous = current
+
+    def test_k2_broadcast_in_one_round(self):
+        process = PushProcess(generators.complete(2), 0, seed=0)
+        process.step()
+        assert process.is_complete
+        assert process.completion_time == 1
+
+    def test_transmissions_equal_informed_count(self, petersen):
+        process = PushProcess(petersen, 0, seed=1)
+        informed = 1
+        for _ in range(6):
+            record = process.step()
+            assert record.transmissions == informed
+            informed = record.active_count
+
+    def test_at_most_doubles_per_round(self, small_expander):
+        process = PushProcess(small_expander, 0, seed=2)
+        previous = 1
+        for _ in range(15):
+            record = process.step()
+            assert record.active_count <= 2 * previous
+            previous = record.active_count
+
+    def test_covers_expander_quickly(self, small_expander):
+        process = PushProcess(small_expander, 0, seed=3)
+        for _ in range(60):
+            if process.is_complete:
+                break
+            process.step()
+        assert process.is_complete
+
+    def test_invalid_start(self, petersen):
+        with pytest.raises(ProcessError):
+            PushProcess(petersen, 99, seed=0)
+
+
+class TestPushPull:
+    def test_informed_set_monotone(self, small_expander):
+        process = PushPullProcess(small_expander, 0, seed=0)
+        previous = process.active_mask
+        for _ in range(20):
+            process.step()
+            current = process.active_mask
+            assert np.all(previous <= current)
+            previous = current
+
+    def test_transmissions_are_n_per_round(self, petersen):
+        process = PushPullProcess(petersen, 0, seed=1)
+        record = process.step()
+        assert record.transmissions == petersen.n_vertices
+
+    def test_star_broadcast_is_fast(self):
+        # Pull makes the star easy: every leaf contacts the centre, so
+        # one round informs the centre (push) and the next informs all
+        # leaves (pull).
+        process = PushPullProcess(generators.star(50), 1, seed=2)
+        process.step()
+        process.step()
+        assert process.is_complete
+
+    def test_covers_expander(self, small_expander):
+        process = PushPullProcess(small_expander, 0, seed=3)
+        for _ in range(60):
+            if process.is_complete:
+                break
+            process.step()
+        assert process.is_complete
+
+    def test_not_slower_than_push_on_average(self, small_expander):
+        push_rounds = []
+        pushpull_rounds = []
+        for seed in range(10):
+            push = PushProcess(small_expander, 0, seed=seed)
+            while not push.is_complete:
+                push.step()
+            push_rounds.append(push.completion_time)
+            both = PushPullProcess(small_expander, 0, seed=seed)
+            while not both.is_complete:
+                both.step()
+            pushpull_rounds.append(both.completion_time)
+        assert np.mean(pushpull_rounds) <= np.mean(push_rounds) + 1

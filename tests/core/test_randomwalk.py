@@ -1,0 +1,86 @@
+"""Tests for :class:`~repro.core.randomwalk.RandomWalkProcess`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.randomwalk import RandomWalkProcess
+from repro.errors import ProcessError
+from repro.graphs import generators
+
+
+class TestSingleWalker:
+    def test_moves_along_edges(self, petersen):
+        process = RandomWalkProcess(petersen, 0, seed=0)
+        previous = process.positions[0]
+        for _ in range(20):
+            process.step()
+            current = process.positions[0]
+            assert petersen.has_edge(int(previous), int(current))
+            previous = current
+
+    def test_start_counts_as_visited(self, petersen):
+        process = RandomWalkProcess(petersen, 3, seed=1)
+        assert process.cumulative_count == 1
+        assert process.cumulative_mask[3]
+
+    def test_start_excluded_with_cobra_convention(self, petersen):
+        process = RandomWalkProcess(petersen, 3, seed=1, include_start_in_cover=False)
+        assert process.cumulative_count == 0
+
+    def test_visited_monotone(self, petersen):
+        process = RandomWalkProcess(petersen, 0, seed=2)
+        previous = 1
+        for _ in range(30):
+            record = process.step()
+            assert record.cumulative_count >= previous
+            previous = record.cumulative_count
+
+    def test_covers_small_graph(self):
+        process = RandomWalkProcess(generators.cycle(6), 0, seed=3)
+        for _ in range(500):
+            if process.is_complete:
+                break
+            process.step()
+        assert process.is_complete
+        assert process.completion_time is not None
+
+    def test_active_count_is_one(self, petersen):
+        process = RandomWalkProcess(petersen, 0, seed=4)
+        for _ in range(5):
+            record = process.step()
+            assert record.active_count == 1
+            assert record.transmissions == 1
+
+
+class TestMultipleWalkers:
+    def test_walker_count_from_argument(self, petersen):
+        process = RandomWalkProcess(petersen, 0, n_walkers=4, seed=0)
+        assert process.n_walkers == 4
+        assert len(process.positions) == 4
+
+    def test_walker_count_from_iterable(self, petersen):
+        process = RandomWalkProcess(petersen, [0, 3, 7], seed=0)
+        assert process.n_walkers == 3
+        assert process.cumulative_count == 3
+
+    def test_more_walkers_cover_faster_on_average(self, small_expander):
+        def mean_cover(walkers: int) -> float:
+            times = []
+            for seed in range(8):
+                process = RandomWalkProcess(small_expander, 0, n_walkers=walkers, seed=seed)
+                while not process.is_complete:
+                    process.step()
+                times.append(process.completion_time)
+            return float(np.mean(times))
+
+        assert mean_cover(8) < mean_cover(1)
+
+    def test_invalid_walker_count(self, petersen):
+        with pytest.raises(ProcessError, match="n_walkers"):
+            RandomWalkProcess(petersen, 0, n_walkers=0)
+
+    def test_empty_start_iterable(self, petersen):
+        with pytest.raises(ProcessError, match="non-empty"):
+            RandomWalkProcess(petersen, [])

@@ -1,0 +1,122 @@
+"""Tests for the runners in :mod:`repro.core.runner`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.bips import BipsProcess
+from repro.core.cobra import CobraProcess
+from repro.core.runner import (
+    default_max_rounds,
+    run_process,
+    sample_completion_times,
+)
+from repro.core.sis import SisProcess
+from repro.errors import CoverTimeoutError
+from repro.graphs import generators
+
+
+class TestRunProcess:
+    def test_runs_to_completion(self, small_expander):
+        process = CobraProcess(small_expander, 0, seed=0)
+        result = run_process(process)
+        assert result.completed
+        assert result.completion_time == process.cover_time
+        assert result.rounds_run == process.round_index
+        assert result.final_cumulative_count == small_expander.n_vertices
+
+    def test_trace_recorded_on_request(self, small_expander):
+        process = CobraProcess(small_expander, 0, seed=1)
+        result = run_process(process, record_trace=True)
+        assert result.trace is not None
+        assert len(result.trace) == result.rounds_run
+        assert result.trace[-1].cumulative_count == small_expander.n_vertices
+
+    def test_no_trace_by_default(self, small_expander):
+        result = run_process(CobraProcess(small_expander, 0, seed=2))
+        assert result.trace is None
+
+    def test_timeout_returns_incomplete(self, small_expander):
+        process = CobraProcess(small_expander, 0, seed=3)
+        result = run_process(process, max_rounds=1)
+        assert not result.completed
+        assert result.completion_time is None
+        assert result.rounds_run == 1
+
+    def test_timeout_raises_when_asked(self, small_expander):
+        process = CobraProcess(small_expander, 0, seed=4)
+        with pytest.raises(CoverTimeoutError, match="did not complete"):
+            run_process(process, max_rounds=1, raise_on_timeout=True)
+
+    def test_extinction_stops_run(self):
+        # k=1 SIS on a cycle dies out quickly; the runner must stop at
+        # the absorbing empty state and flag it rather than looping.
+        process = SisProcess(generators.cycle(9), 0, branching=1.0, seed=5)
+        result = run_process(process, max_rounds=100_000)
+        if result.extinct:
+            assert not result.completed
+            assert result.final_active_count == 0
+
+    def test_extinction_does_not_raise(self):
+        for seed in range(10):
+            process = SisProcess(generators.cycle(9), 0, branching=1.0, seed=seed)
+            result = run_process(process, max_rounds=100_000, raise_on_timeout=True)
+            if result.extinct:
+                return  # raise_on_timeout must not fire for extinction
+        pytest.skip("no extinction observed in 10 seeds (overwhelmingly unlikely)")
+
+    def test_already_complete_process(self):
+        process = BipsProcess(generators.complete(2), 0, seed=6)
+        process.step()
+        assert process.is_complete
+        result = run_process(process)
+        assert result.completed
+        assert result.rounds_run == 1
+
+
+class TestSampleCompletionTimes:
+    def test_shape_and_determinism(self, small_expander):
+        factory = lambda rng: CobraProcess(small_expander, 0, seed=rng)
+        a = sample_completion_times(factory, 5, seed=0)
+        b = sample_completion_times(factory, 5, seed=0)
+        assert a.shape == (5,)
+        assert np.array_equal(a, b)
+        assert np.all(a > 0)
+
+    def test_independent_replicas_vary(self, small_expander):
+        factory = lambda rng: CobraProcess(small_expander, 0, seed=rng)
+        times = sample_completion_times(factory, 20, seed=1)
+        assert len(np.unique(times)) > 1
+
+    def test_timeout_marks_minus_one(self, small_expander):
+        factory = lambda rng: CobraProcess(small_expander, 0, seed=rng)
+        times = sample_completion_times(
+            factory, 3, seed=2, max_rounds=1, raise_on_timeout=False
+        )
+        assert np.all(times == -1)
+
+    def test_timeout_raises_by_default(self, small_expander):
+        factory = lambda rng: CobraProcess(small_expander, 0, seed=rng)
+        with pytest.raises(CoverTimeoutError):
+            sample_completion_times(factory, 3, seed=3, max_rounds=1)
+
+    def test_rejects_zero_samples(self, small_expander):
+        factory = lambda rng: CobraProcess(small_expander, 0, seed=rng)
+        with pytest.raises(ValueError, match="n_samples"):
+            sample_completion_times(factory, 0, seed=0)
+
+
+class TestDefaultMaxRounds:
+    def test_grows_with_n(self):
+        small = default_max_rounds(generators.cycle(16))
+        large = default_max_rounds(generators.cycle(1024))
+        assert large > small
+
+    def test_generous_for_random_walk_cover(self, small_expander):
+        # A single random walk must finish within the default cap.
+        from repro.core.randomwalk import RandomWalkProcess
+
+        process = RandomWalkProcess(small_expander, 0, seed=0)
+        result = run_process(process)
+        assert result.completed

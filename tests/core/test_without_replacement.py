@@ -1,0 +1,171 @@
+"""Tests for the without-replacement sampling extension.
+
+The paper's processes draw neighbours *with* replacement; the library
+also supports distinct draws.  Theorem 4's proof only requires the
+per-vertex choice-set laws of COBRA and BIPS to coincide, so the
+duality must survive the change — verified exactly in
+``tests/exact/test_duality.py::TestWithoutReplacement``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.bips import BipsProcess
+from repro.core.cobra import CobraProcess
+from repro.core.sis import SisProcess
+from repro.errors import GraphPropertyError, ProcessError
+from repro.graphs import generators
+
+
+class TestSampleDistinctNeighbors:
+    def test_rows_are_distinct(self, petersen, rng):
+        vertices = np.arange(10, dtype=np.int64)
+        picks = petersen.sample_distinct_neighbors(vertices, 3, rng)
+        for row in picks:
+            assert len(set(row.tolist())) == 3
+
+    def test_picks_are_neighbors(self, petersen, rng):
+        vertices = np.repeat(np.arange(10, dtype=np.int64), 20)
+        picks = petersen.sample_distinct_neighbors(vertices, 2, rng)
+        for vertex, row in zip(vertices, picks):
+            for pick in row:
+                assert petersen.has_edge(int(vertex), int(pick))
+
+    def test_k_equals_degree_returns_whole_neighborhood(self, petersen, rng):
+        picks = petersen.sample_distinct_neighbors(np.array([0]), 3, rng)
+        assert sorted(picks[0].tolist()) == sorted(petersen.neighbors(0).tolist())
+
+    def test_degree_too_small_rejected(self, rng):
+        graph = generators.path(4)
+        with pytest.raises(GraphPropertyError, match="degree"):
+            graph.sample_distinct_neighbors(np.array([0]), 2, rng)
+
+    def test_uniform_over_subsets(self, rng):
+        # Vertex 0 of K4 has neighbours {1,2,3}; 2-subsets must be
+        # uniform over the three pairs.
+        graph = generators.complete(4)
+        counts: dict[frozenset, int] = {}
+        trials = 6000
+        picks = graph.sample_distinct_neighbors(
+            np.zeros(trials, dtype=np.int64), 2, rng
+        )
+        for row in picks:
+            key = frozenset(row.tolist())
+            counts[key] = counts.get(key, 0) + 1
+        assert len(counts) == 3
+        for count in counts.values():
+            assert abs(count / trials - 1 / 3) < 0.035
+
+    def test_empty_vertex_list(self, petersen, rng):
+        picks = petersen.sample_distinct_neighbors(np.empty(0, dtype=np.int64), 2, rng)
+        assert picks.shape == (0, 2)
+
+    def test_irregular_degrees_handled(self, rng):
+        graph = generators.star(6)
+        picks = graph.sample_distinct_neighbors(np.array([0, 0]), 3, rng)
+        assert picks.shape == (2, 3)
+        for row in picks:
+            assert len(set(row.tolist())) == 3
+
+
+class TestCobraWithoutReplacement:
+    def test_k2_on_cycle_is_deterministic_flood(self):
+        # Each active vertex's two distinct picks on a cycle are both
+        # its neighbours: the process floods deterministically.
+        graph = generators.cycle(7)
+        process = CobraProcess(graph, 0, branching=2.0, replacement=False, seed=0)
+        process.step()
+        assert sorted(process.active_vertices().tolist()) == [1, 6]
+        process.step()
+        assert sorted(process.active_vertices().tolist()) == [0, 2, 5]
+
+    def test_covers_expander(self, small_expander):
+        process = CobraProcess(small_expander, 0, replacement=False, seed=1)
+        for _ in range(200):
+            if process.is_complete:
+                break
+            process.step()
+        assert process.is_complete
+
+    def test_faster_or_equal_to_with_replacement_on_average(self, small_expander):
+        # Distinct picks never waste a duplicate draw, so coverage can
+        # only speed up (statistically).
+        def mean_cover(replacement: bool) -> float:
+            times = []
+            for seed in range(12):
+                process = CobraProcess(
+                    small_expander, 0, replacement=replacement, seed=seed
+                )
+                while not process.is_complete:
+                    process.step()
+                times.append(process.cover_time)
+            return float(np.mean(times))
+
+        assert mean_cover(False) <= mean_cover(True) + 1.0
+
+    def test_degree_validation(self):
+        graph = generators.path(5)  # endpoints have degree 1
+        with pytest.raises(ProcessError, match="minimum degree"):
+            CobraProcess(graph, 0, branching=2.0, replacement=False)
+
+    def test_fractional_needs_one_more_neighbor(self):
+        graph = generators.cycle(6)  # 2-regular
+        with pytest.raises(ProcessError, match="minimum degree"):
+            CobraProcess(graph, 0, branching=2.5, replacement=False)
+        CobraProcess(graph, 0, branching=1.5, replacement=False)  # fine
+
+    def test_replacement_property(self, petersen):
+        assert CobraProcess(petersen, 0, replacement=False).replacement is False
+        assert CobraProcess(petersen, 0).replacement is True
+
+
+class TestBipsWithoutReplacement:
+    def test_k2_on_cycle_never_misses_adjacent_infection(self):
+        # On a cycle with k=2 distinct picks, every vertex samples both
+        # neighbours, so u is infected iff a neighbour was infected:
+        # deterministic local flooding.
+        graph = generators.cycle(9)
+        process = BipsProcess(graph, 0, branching=2.0, replacement=False, seed=0)
+        record = process.step()
+        assert sorted(process.active_vertices().tolist()) == [0, 1, 8]
+        assert record.active_count == 3
+
+    def test_deterministic_infection_time_on_cycle(self):
+        # Flooding covers a 9-cycle from one source in ceil(8/2) = 4 rounds.
+        graph = generators.cycle(9)
+        process = BipsProcess(graph, 0, branching=2.0, replacement=False, seed=0)
+        while not process.is_complete:
+            process.step()
+        assert process.infection_time == 4
+
+    def test_source_persistent(self, small_expander):
+        process = BipsProcess(small_expander, 3, replacement=False, seed=2)
+        for _ in range(20):
+            process.step()
+            assert process.is_infected(3)
+
+    def test_infects_expander(self, small_expander):
+        process = BipsProcess(small_expander, 0, replacement=False, seed=3)
+        for _ in range(300):
+            if process.is_complete:
+                break
+            process.step()
+        assert process.is_complete
+
+
+class TestSisWithoutReplacement:
+    def test_runs_and_respects_semantics(self, small_expander):
+        process = SisProcess(small_expander, 0, replacement=False, seed=4)
+        for _ in range(50):
+            record = process.step()
+            if record.active_count == 0:
+                break
+        # Either extinct or alive; both legal — just no crash and
+        # consistent bookkeeping.
+        assert process.round_index > 0
+
+    def test_degree_validation(self):
+        with pytest.raises(ProcessError, match="minimum degree"):
+            SisProcess(generators.star(5), 0, branching=2.0, replacement=False)

@@ -1,0 +1,127 @@
+"""Tests for the exact COBRA engine: walk laws, unions, hitting tails."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._rng import spawn_generators
+from repro.core.cobra import CobraProcess
+from repro.exact.cobra_exact import ExactCobra
+from repro.graphs import generators
+from repro.graphs.spectral import transition_matrix
+
+
+class TestStepDistribution:
+    def test_mass_conserved(self, petersen):
+        engine = ExactCobra(petersen)
+        for mask in (0b1, 0b101, 0b11111):
+            assert engine.step_distribution(mask).sum() == pytest.approx(1.0)
+
+    def test_rejects_empty_set(self, petersen):
+        with pytest.raises(ValueError, match="non-empty"):
+            ExactCobra(petersen).step_distribution(0)
+
+    def test_k1_single_vertex_is_uniform_neighbor(self, c9):
+        engine = ExactCobra(c9, branching=1.0)
+        distribution = engine.step_distribution(1 << 4)
+        assert distribution[1 << 3] == pytest.approx(0.5)
+        assert distribution[1 << 5] == pytest.approx(0.5)
+
+    def test_k2_single_vertex_choice_law(self):
+        # One active vertex with neighbours {a, b}: picks (with
+        # replacement) give {a} w.p. 1/4, {b} w.p. 1/4, {a,b} w.p. 1/2.
+        graph = generators.cycle(5)
+        engine = ExactCobra(graph, branching=2.0)
+        distribution = engine.step_distribution(1 << 0)
+        a, b = 1 << 1, 1 << 4
+        assert distribution[a] == pytest.approx(0.25)
+        assert distribution[b] == pytest.approx(0.25)
+        assert distribution[a | b] == pytest.approx(0.5)
+
+    def test_fractional_choice_law(self):
+        # branching 1.5: one mandatory pick; with prob 1/2 a second.
+        graph = generators.cycle(5)
+        engine = ExactCobra(graph, branching=1.5)
+        distribution = engine.step_distribution(1 << 0)
+        a, b = 1 << 1, 1 << 4
+        # {a}: mandatory a, then (no branch) 1/2, or branch and pick a: 1/2 * 1/2 -> total 1/2*(1/2 + 1/4)... enumerate:
+        # P({a}) = P(first=a) * [P(no branch) + P(branch, second=a)]
+        #        = 1/2 * (1/2 + 1/2 * 1/2) = 3/8.
+        assert distribution[a] == pytest.approx(3 / 8)
+        assert distribution[b] == pytest.approx(3 / 8)
+        assert distribution[a | b] == pytest.approx(2 / 8)
+
+
+class TestWalkLawEquivalence:
+    def test_k1_occupation_matches_transition_powers(self, petersen):
+        # COBRA with branching 1 from one vertex IS a simple random
+        # walk; its occupation law must equal rows of P^t.
+        engine = ExactCobra(petersen, branching=1.0)
+        matrix = transition_matrix(petersen)
+        law = np.zeros(10)
+        law[0] = 1.0
+        for t in range(5):
+            occupation = engine.occupation_probabilities([0], t)
+            assert np.allclose(occupation, law, atol=1e-12)
+            law = law @ matrix
+
+    def test_occupation_sums_to_expected_size(self, c9):
+        engine = ExactCobra(c9, branching=2.0)
+        occupation = engine.occupation_probabilities([0], 3)
+        assert np.all(occupation >= -1e-15)
+        assert np.all(occupation <= 1 + 1e-15)
+        # With branching 2 the active set at most doubles per round.
+        assert occupation.sum() <= 8.0 + 1e-9
+
+
+class TestMonteCarloAgreement:
+    def test_occupation_frequencies(self):
+        graph = generators.petersen()
+        engine = ExactCobra(graph, branching=2.0)
+        t = 3
+        exact_occupation = engine.occupation_probabilities([0], t)
+        trials = 3000
+        counts = np.zeros(10)
+        for rng in spawn_generators(99, trials):
+            process = CobraProcess(graph, 0, seed=rng)
+            process.run(t)
+            counts += process.active_mask
+        empirical = counts / trials
+        standard_error = np.sqrt(exact_occupation * (1 - exact_occupation) / trials)
+        assert np.all(np.abs(empirical - exact_occupation) < 5 * standard_error + 2e-2)
+
+
+class TestHittingSurvival:
+    def test_t0_values(self, petersen):
+        engine = ExactCobra(petersen)
+        assert engine.hitting_survival([0], 5, 0) == pytest.approx(1.0)
+        assert engine.hitting_survival([0, 5], 5, 0) == pytest.approx(0.0)
+
+    def test_monotone_non_increasing(self, petersen):
+        engine = ExactCobra(petersen)
+        series = engine.hitting_survival_series([0], 7, 10)
+        assert np.all(np.diff(series) <= 1e-12)
+
+    def test_walk_hitting_matches_substochastic_matrix(self, c9):
+        # For k=1 the hitting tail of vertex v equals iterating the
+        # transition matrix with row/column of v removed.
+        engine = ExactCobra(c9, branching=1.0)
+        series = engine.hitting_survival_series([0], 4, 8)
+        matrix = transition_matrix(c9)
+        keep = [u for u in range(9) if u != 4]
+        reduced = matrix[np.ix_(keep, keep)]
+        state = np.zeros(len(keep))
+        state[keep.index(0)] = 1.0
+        for t in range(9):
+            assert series[t] == pytest.approx(state.sum(), abs=1e-12)
+            state = state @ reduced
+
+    def test_goes_to_zero_on_connected_graph(self, petersen):
+        engine = ExactCobra(petersen)
+        series = engine.hitting_survival_series([0], 9, 60)
+        assert series[-1] < 1e-6
+
+    def test_validates_t_max(self, petersen):
+        with pytest.raises(ValueError, match="t_max"):
+            ExactCobra(petersen).hitting_survival_series([0], 1, -1)

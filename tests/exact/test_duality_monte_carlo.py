@@ -1,0 +1,48 @@
+"""Tests for the Monte-Carlo duality estimator (the large-graph tier)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exact.duality import duality_monte_carlo, duality_series
+from repro.graphs import generators
+
+
+class TestDualityMonteCarlo:
+    def test_agrees_with_exact_on_small_graph(self, petersen):
+        exact_cobra, exact_bips = duality_series(petersen, [0], 7, 5)
+        points = duality_monte_carlo(
+            petersen, [0], 7, (1, 3, 5), trials=3000, seed=0
+        )
+        for point in points:
+            # Both estimates bracket the common exact value.
+            assert point.cobra_interval[0] - 0.01 <= exact_cobra[point.t]
+            assert exact_cobra[point.t] <= point.cobra_interval[1] + 0.01
+            assert point.bips_interval[0] - 0.01 <= exact_bips[point.t]
+            assert exact_bips[point.t] <= point.bips_interval[1] + 0.01
+
+    def test_sides_overlap_on_medium_graph(self):
+        graph = generators.random_regular(100, 6, seed=3)
+        points = duality_monte_carlo(graph, 0, 57, (2, 4), trials=1500, seed=1)
+        assert all(point.intervals_overlap for point in points)
+
+    def test_multi_vertex_start_set(self, petersen):
+        points = duality_monte_carlo(
+            petersen, [0, 3], 7, (2,), trials=1500, seed=2
+        )
+        exact_cobra, _ = duality_series(petersen, [0, 3], 7, 2)
+        point = points[0]
+        assert abs(point.cobra_estimate - exact_cobra[2]) < 0.06
+        assert point.intervals_overlap
+
+    def test_t_zero_is_indicator(self, petersen):
+        point = duality_monte_carlo(petersen, [0], 7, (0,), trials=50, seed=3)[0]
+        assert point.cobra_estimate == 1.0
+        assert point.bips_estimate == 1.0
+        assert point.difference == 0.0
+
+    def test_deterministic_given_seed(self, petersen):
+        a = duality_monte_carlo(petersen, [0], 7, (3,), trials=300, seed=9)[0]
+        b = duality_monte_carlo(petersen, [0], 7, (3,), trials=300, seed=9)[0]
+        assert a.cobra_estimate == b.cobra_estimate
+        assert a.bips_estimate == b.bips_estimate

@@ -1,0 +1,90 @@
+"""Tests for BIPS stationary and quasi-stationary structure.
+
+Two complementary facts, both proved by the engines:
+
+* the full set is **absorbing** for BIPS on a connected graph (every
+  sample of every vertex hits an infected neighbour), so the
+  stationary law is the point mass at ``V``;
+* conditioned on not yet being full, the chain settles into a
+  quasi-stationary law whose per-round survival factor ``θ`` is
+  exactly the geometric tail rate of ``infec(v)`` — the mechanism
+  behind the paper's w.h.p. statements (and experiment E11).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exact.bips_exact import ExactBips
+from repro.graphs import generators
+
+
+class TestStationaryDistribution:
+    def test_full_state_is_absorbing(self, c9):
+        engine = ExactBips(c9, 0)
+        full = (1 << 9) - 1
+        stepped = engine.step_distribution(full)
+        assert stepped[full] == pytest.approx(1.0)
+
+    def test_stationary_is_point_mass_at_full(self, c9):
+        stationary = ExactBips(c9, 0).stationary_distribution(tolerance=1e-9)
+        assert stationary[(1 << 9) - 1] == pytest.approx(1.0, abs=1e-6)
+
+    def test_is_a_fixed_point(self, petersen):
+        engine = ExactBips(petersen, 0)
+        stationary = engine.stationary_distribution(tolerance=1e-9)
+        stepped = engine.evolve(stationary, 1)
+        assert np.allclose(stepped, stationary, atol=1e-9)
+
+
+class TestQuasiStationary:
+    def test_is_a_distribution_without_full_state(self, c9):
+        qsd, theta = ExactBips(c9, 0).quasi_stationary_distribution(tolerance=1e-10)
+        assert qsd.sum() == pytest.approx(1.0)
+        assert qsd[(1 << 9) - 1] == 0.0
+        assert 0.0 < theta < 1.0
+
+    def test_theta_matches_infection_tail_decay(self, c9):
+        # P(infec > t) ~ C theta^t: the pmf ratio at large t converges
+        # to theta.
+        engine = ExactBips(c9, 0)
+        _, theta = engine.quasi_stationary_distribution(tolerance=1e-12)
+        pmf, _ = engine.infection_time_distribution(120)
+        late = pmf[80:119]
+        ratios = late[1:] / late[:-1]
+        assert np.allclose(ratios, theta, atol=1e-3)
+
+    def test_theta_is_eigenvalue_of_substochastic_chain(self):
+        # Direct check on a tiny graph: theta equals the dominant
+        # eigenvalue of the transition matrix with the full state removed.
+        graph = generators.cycle(5)
+        engine = ExactBips(graph, 0)
+        _, theta = engine.quasi_stationary_distribution(tolerance=1e-12)
+        full = (1 << 5) - 1
+        matrix = np.array(
+            [engine.step_distribution(mask) for mask in range(1 << 5)]
+        )
+        matrix[:, full] = 0.0
+        matrix[full, :] = 0.0
+        eigenvalues = np.linalg.eigvals(matrix)
+        assert theta == pytest.approx(float(np.max(np.abs(eigenvalues))), abs=1e-8)
+
+    def test_faster_absorption_on_better_expander(self):
+        # K9 reaches full infection much faster than C9: its survival
+        # factor must be far smaller.
+        _, theta_cycle = ExactBips(generators.cycle(9), 0).quasi_stationary_distribution()
+        _, theta_clique = ExactBips(generators.complete(9), 0).quasi_stationary_distribution()
+        assert theta_clique < theta_cycle
+
+    def test_quasi_stationary_mean_size_in_range(self, c9):
+        level = ExactBips(c9, 0).quasi_stationary_mean_size()
+        assert 1.0 < level < 9.0
+
+    def test_certain_absorption_has_no_qsd(self):
+        # On K2 the non-source vertex hits the source with probability 1
+        # every round: absorption is certain in one step and no
+        # quasi-stationary law exists.
+        engine = ExactBips(generators.complete(2), 0)
+        with pytest.raises(RuntimeError, match="no quasi-stationary law"):
+            engine.quasi_stationary_distribution()

@@ -1,0 +1,115 @@
+"""Tests for the bitmask subset algebra in :mod:`repro.exact.subsets`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ExactEngineError
+from repro.exact.subsets import (
+    MAX_EXACT_VERTICES,
+    bernoulli_fold,
+    check_size,
+    mask_from_vertices,
+    masks_containing,
+    masks_disjoint_from,
+    or_with_bit,
+    popcount_table,
+    vertices_from_mask,
+)
+
+
+class TestMasks:
+    def test_roundtrip(self):
+        for vertices in ([], [0], [1, 3], [0, 2, 5]):
+            assert vertices_from_mask(mask_from_vertices(vertices)) == sorted(vertices)
+
+    def test_duplicates_harmless(self):
+        assert mask_from_vertices([2, 2, 2]) == 4
+
+    def test_negative_vertex_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            mask_from_vertices([-1])
+
+    def test_negative_mask_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            vertices_from_mask(-3)
+
+
+class TestPopcountTable:
+    def test_values(self):
+        table = popcount_table(4)
+        assert table.shape == (16,)
+        expected = [bin(mask).count("1") for mask in range(16)]
+        assert list(table) == expected
+
+    def test_readonly(self):
+        with pytest.raises(ValueError):
+            popcount_table(3)[0] = 9
+
+    def test_size_guard(self):
+        with pytest.raises(ExactEngineError, match="limit"):
+            check_size(MAX_EXACT_VERTICES + 1)
+        check_size(MAX_EXACT_VERTICES)  # boundary is allowed
+
+
+class TestBernoulliFold:
+    def test_extends_delta(self):
+        n_bits = 3
+        distribution = np.zeros(8)
+        distribution[0] = 1.0
+        folded = bernoulli_fold(distribution, 1, 0.3, n_bits)
+        assert folded[0] == pytest.approx(0.7)
+        assert folded[0b010] == pytest.approx(0.3)
+        assert folded.sum() == pytest.approx(1.0)
+
+    def test_builds_product_measure(self):
+        n_bits = 3
+        distribution = np.zeros(8)
+        distribution[0] = 1.0
+        probabilities = [0.2, 0.5, 0.9]
+        for bit, p in enumerate(probabilities):
+            distribution = bernoulli_fold(distribution, bit, p, n_bits)
+        for mask in range(8):
+            expected = 1.0
+            for bit, p in enumerate(probabilities):
+                expected *= p if (mask >> bit) & 1 else 1.0 - p
+            assert distribution[mask] == pytest.approx(expected)
+
+    def test_conserves_mass(self):
+        rng = np.random.default_rng(0)
+        distribution = rng.random(16)
+        distribution[8:] = 0.0  # no mass on bit 3
+        distribution /= distribution.sum()
+        folded = bernoulli_fold(distribution, 3, 0.4, 4)
+        assert folded.sum() == pytest.approx(1.0)
+
+
+class TestOrWithBit:
+    def test_moves_all_mass_to_bit_set_half(self):
+        n_bits = 3
+        distribution = np.zeros(8)
+        distribution[0b001] = 0.5
+        distribution[0b100] = 0.5
+        result = or_with_bit(distribution, 1, n_bits)
+        assert result[0b011] == pytest.approx(0.5)
+        assert result[0b110] == pytest.approx(0.5)
+        assert result.sum() == pytest.approx(1.0)
+
+    def test_idempotent_on_bit_set_masks(self):
+        distribution = np.zeros(4)
+        distribution[0b10] = 1.0
+        result = or_with_bit(distribution, 1, 2)
+        assert result[0b10] == pytest.approx(1.0)
+
+
+class TestSelectors:
+    def test_masks_disjoint_from(self):
+        selector = masks_disjoint_from(0b101, 3)
+        chosen = np.flatnonzero(selector)
+        assert list(chosen) == [0b000, 0b010]
+
+    def test_masks_containing(self):
+        selector = masks_containing(0, 3)
+        chosen = np.flatnonzero(selector)
+        assert list(chosen) == [1, 3, 5, 7]

@@ -1,0 +1,86 @@
+"""Tests for the campaign runner."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import e4_duality
+from repro.experiments.campaign import Campaign, CampaignEntry, run_campaign
+
+
+class TestCampaignDescription:
+    def test_roundtrip(self):
+        campaign = Campaign(
+            name="demo",
+            entries=[CampaignEntry("E4"), CampaignEntry("E5", mode="full", seed=3)],
+        )
+        parsed = Campaign.from_json(campaign.to_json())
+        assert parsed.name == "demo"
+        assert parsed.entries == campaign.entries
+
+    def test_defaults_applied(self):
+        campaign = Campaign.from_json(
+            '{"name": "d", "entries": [{"experiment_id": "E5"}]}'
+        )
+        assert campaign.entries[0].mode == "quick"
+        assert campaign.entries[0].seed == 0
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ExperimentError, match="unknown experiment"):
+            Campaign.from_json(
+                '{"name": "d", "entries": [{"experiment_id": "E99"}]}'
+            )
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ExperimentError, match="mode"):
+            Campaign.from_json(
+                '{"name": "d", "entries": [{"experiment_id": "E5", "mode": "huge"}]}'
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError, match="no entries"):
+            Campaign(name="d").validate()
+        with pytest.raises(ExperimentError, match="name"):
+            Campaign(name="", entries=[CampaignEntry("E5")]).validate()
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(ExperimentError, match="malformed"):
+            Campaign.from_json("{nope")
+
+
+class TestRunCampaign:
+    def test_executes_and_writes_manifest(self, tmp_path, monkeypatch):
+        # Keep it fast: shrink E4 and run it twice with different seeds.
+        monkeypatch.setattr(e4_duality, "QUICK_TRIALS", 50)
+        monkeypatch.setattr(e4_duality, "EXACT_T_MAX", 3)
+        campaign = Campaign(
+            name="mini",
+            entries=[CampaignEntry("E4", seed=0), CampaignEntry("E4", seed=1)],
+        )
+        messages: list[str] = []
+        manifest = run_campaign(campaign, tmp_path, progress=messages.append)
+
+        directory = tmp_path / "mini"
+        assert (directory / "manifest.json").exists()
+        assert (directory / "e4_quick_s0.json").exists()
+        assert (directory / "e4_quick_s1.txt").exists()
+        assert len(manifest["entries"]) == 2
+        assert all(entry["seconds"] >= 0 for entry in manifest["entries"])
+        assert all(entry["findings"] for entry in manifest["entries"])
+        assert len(messages) == 2
+
+        reloaded = json.loads((directory / "manifest.json").read_text())
+        assert reloaded["campaign"] == "mini"
+
+    def test_results_load_back(self, tmp_path, monkeypatch):
+        from repro.experiments.results import ExperimentResult
+
+        monkeypatch.setattr(e4_duality, "QUICK_TRIALS", 50)
+        monkeypatch.setattr(e4_duality, "EXACT_T_MAX", 3)
+        campaign = Campaign(name="load", entries=[CampaignEntry("E4")])
+        run_campaign(campaign, tmp_path)
+        result = ExperimentResult.load(tmp_path / "load" / "e4_quick_s0.json")
+        assert result.spec.experiment_id == "E4"

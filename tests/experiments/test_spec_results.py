@@ -1,0 +1,87 @@
+"""Tests for experiment specs and result records."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.tables import Table
+from repro.errors import ExperimentError
+from repro.experiments.results import ExperimentResult
+from repro.experiments.spec import ExperimentSpec
+
+
+@pytest.fixture
+def spec() -> ExperimentSpec:
+    return ExperimentSpec(
+        experiment_id="E0",
+        title="toy experiment",
+        claim="everything works",
+        paper_reference="Theorem 0",
+    )
+
+
+@pytest.fixture
+def result(spec) -> ExperimentResult:
+    table = Table(["n", "mean"], rows=[(10, 1.5), (20, 2.5)])
+    return ExperimentResult(
+        spec=spec,
+        mode="quick",
+        seed=0,
+        parameters={"sizes": [10, 20]},
+        tables={"cover": table},
+        figures={"fig": "o--o\n|  |"},
+        findings=["it works"],
+    )
+
+
+class TestSpec:
+    def test_roundtrip(self, spec):
+        assert ExperimentSpec.from_dict(spec.to_dict()) == spec
+
+    def test_header_contains_fields(self, spec):
+        header = spec.header()
+        assert "[E0]" in header
+        assert "everything works" in header
+        assert "Theorem 0" in header
+
+
+class TestResultRender:
+    def test_render_contains_everything(self, result):
+        rendered = result.render()
+        assert "[E0] toy experiment" in rendered
+        assert "* it works" in rendered
+        assert "-- cover --" in rendered
+        assert "-- fig --" in rendered
+
+    def test_render_without_findings(self, spec):
+        result = ExperimentResult(spec=spec, mode="quick", seed=0)
+        assert "findings" not in result.render()
+
+
+class TestResultPersistence:
+    def test_json_roundtrip(self, result, tmp_path):
+        path = result.save(tmp_path / "out" / "e0.json")
+        assert path.exists()
+        loaded = ExperimentResult.load(path)
+        assert loaded.spec == result.spec
+        assert loaded.mode == "quick"
+        assert loaded.parameters == {"sizes": [10, 20]}
+        assert loaded.findings == ["it works"]
+        assert loaded.figures == result.figures
+        assert loaded.tables["cover"].column("mean") == [1.5, 2.5]
+
+    def test_numpy_scalars_serialised(self, spec, tmp_path):
+        import numpy as np
+
+        table = Table(["x"], rows=[(np.int64(3),), (np.float64(1.5),)])
+        result = ExperimentResult(
+            spec=spec, mode="quick", seed=0, tables={"t": table}
+        )
+        loaded = ExperimentResult.load(result.save(tmp_path / "np.json"))
+        assert loaded.tables["t"].column("x") == [3, 1.5]
+
+    def test_malformed_file_raises(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"mode": "quick"}')
+        with pytest.raises(ExperimentError, match="malformed"):
+            ExperimentResult.load(bad)

@@ -1,0 +1,117 @@
+"""Tests for graph converters in :mod:`repro.graphs.build`."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.errors import GraphConstructionError
+from repro.graphs.build import (
+    from_adjacency_matrix,
+    from_edges,
+    from_networkx,
+    to_networkx,
+)
+
+
+class TestFromEdges:
+    def test_basic(self):
+        graph = from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        assert graph.n_vertices == 4
+        assert graph.n_edges == 3
+        assert graph.has_edge(1, 2)
+
+    def test_orientation_irrelevant(self):
+        a = from_edges(3, [(0, 1), (1, 2)])
+        b = from_edges(3, [(1, 0), (2, 1)])
+        assert a == b
+
+    def test_empty_edge_list(self):
+        graph = from_edges(3, [])
+        assert graph.n_edges == 0
+        assert graph.n_vertices == 3
+
+    def test_isolated_vertices_allowed(self):
+        graph = from_edges(5, [(0, 1)])
+        assert graph.degree(4) == 0
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphConstructionError, match="self-loop"):
+            from_edges(3, [(1, 1)])
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(GraphConstructionError, match="duplicate"):
+            from_edges(3, [(0, 1), (1, 0)])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(GraphConstructionError, match="out of range"):
+            from_edges(3, [(0, 3)])
+
+    def test_negative_vertex_rejected(self):
+        with pytest.raises(GraphConstructionError, match="out of range"):
+            from_edges(3, [(-1, 0)])
+
+    def test_zero_vertices_rejected(self):
+        with pytest.raises(GraphConstructionError, match=">= 1"):
+            from_edges(0, [])
+
+    def test_malformed_edges_rejected(self):
+        with pytest.raises(GraphConstructionError, match="pairs"):
+            from_edges(3, [(0, 1, 2)])
+
+    def test_name_stored(self):
+        assert from_edges(2, [(0, 1)], name="tiny").name == "tiny"
+
+
+class TestFromAdjacencyMatrix:
+    def test_basic(self):
+        matrix = np.array([[0, 1, 1], [1, 0, 0], [1, 0, 0]])
+        graph = from_adjacency_matrix(matrix)
+        assert graph.n_edges == 2
+        assert graph.has_edge(0, 2)
+
+    def test_rejects_nonsquare(self):
+        with pytest.raises(GraphConstructionError, match="square"):
+            from_adjacency_matrix(np.zeros((2, 3)))
+
+    def test_rejects_asymmetric(self):
+        with pytest.raises(GraphConstructionError, match="symmetric"):
+            from_adjacency_matrix(np.array([[0, 1], [0, 0]]))
+
+    def test_rejects_nonbinary(self):
+        with pytest.raises(GraphConstructionError, match="0 or 1"):
+            from_adjacency_matrix(np.array([[0, 2], [2, 0]]))
+
+    def test_rejects_diagonal(self):
+        with pytest.raises(GraphConstructionError, match="diagonal"):
+            from_adjacency_matrix(np.array([[1, 0], [0, 0]]))
+
+
+class TestNetworkxRoundtrip:
+    def test_roundtrip_preserves_structure(self):
+        original = nx.petersen_graph()
+        graph = from_networkx(original)
+        back = to_networkx(graph)
+        assert nx.is_isomorphic(original, back)
+
+    def test_relabelling_is_deterministic(self):
+        scrambled = nx.relabel_nodes(nx.path_graph(5), {0: "e", 1: "d", 2: "c", 3: "b", 4: "a"})
+        graph = from_networkx(scrambled)
+        # Sorted labels a..e become 0..4; the path becomes reversed.
+        assert graph.has_edge(0, 1)
+        assert graph.degree(0) == 1
+
+    def test_rejects_directed(self):
+        with pytest.raises(GraphConstructionError, match="undirected"):
+            from_networkx(nx.DiGraph([(0, 1)]))
+
+    def test_rejects_multigraph(self):
+        with pytest.raises(GraphConstructionError, match="undirected"):
+            from_networkx(nx.MultiGraph([(0, 1), (0, 1)]))
+
+    def test_default_name(self):
+        assert "networkx" in from_networkx(nx.path_graph(3)).name
+
+    def test_custom_name(self):
+        assert from_networkx(nx.path_graph(3), name="p3").name == "p3"

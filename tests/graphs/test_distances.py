@@ -1,0 +1,97 @@
+"""Tests for the BFS distance module."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphPropertyError
+from repro.graphs import generators
+from repro.graphs.build import from_edges
+from repro.graphs.distances import (
+    all_pairs_distances,
+    average_distance,
+    bfs_distances,
+    distance_histogram,
+    eccentricities,
+)
+from repro.graphs.properties import diameter
+
+
+class TestBfsDistances:
+    def test_path_distances(self):
+        distances = bfs_distances(generators.path(5), 0)
+        assert list(distances) == [0, 1, 2, 3, 4]
+
+    def test_cycle_distances(self):
+        distances = bfs_distances(generators.cycle(6), 0)
+        assert list(distances) == [0, 1, 2, 3, 2, 1]
+
+    def test_unreachable_marked(self):
+        graph = from_edges(4, [(0, 1)])
+        distances = bfs_distances(graph, 0)
+        assert distances[2] == -1
+        assert distances[3] == -1
+
+    def test_source_validation(self):
+        with pytest.raises(GraphPropertyError, match="out of range"):
+            bfs_distances(generators.cycle(5), 9)
+
+
+class TestAllPairs:
+    def test_symmetric_on_undirected(self, petersen):
+        matrix = all_pairs_distances(petersen)
+        assert np.array_equal(matrix, matrix.T)
+        assert np.all(np.diag(matrix) == 0)
+
+    def test_matches_diameter(self, petersen):
+        matrix = all_pairs_distances(petersen)
+        assert matrix.max() == diameter(petersen)
+
+    def test_size_guard(self):
+        with pytest.raises(GraphPropertyError, match="limit"):
+            all_pairs_distances(generators.cycle(10), max_vertices=5)
+
+
+class TestDerived:
+    def test_distance_histogram_petersen(self, petersen):
+        histogram = distance_histogram(petersen)
+        # Petersen: diameter 2; 30 ordered adjacent pairs; the rest at 2.
+        assert histogram[1] == 30
+        assert histogram[2] == 10 * 9 - 30
+        assert set(histogram) == {1, 2}
+
+    def test_average_distance_complete(self):
+        assert average_distance(generators.complete(7)) == pytest.approx(1.0)
+
+    def test_average_distance_path(self):
+        # Path 0-1-2: pairs (0,1),(1,2)->1; (0,2)->2; average = 8/6.
+        assert average_distance(generators.path(3)) == pytest.approx(8 / 6)
+
+    def test_eccentricities_star(self):
+        values = eccentricities(generators.star(6))
+        assert values[0] == 1
+        assert np.all(values[1:] == 2)
+
+    def test_disconnected_rejected(self):
+        graph = from_edges(4, [(0, 1)])
+        with pytest.raises(GraphPropertyError, match="connected"):
+            distance_histogram(graph)
+        with pytest.raises(GraphPropertyError, match="connected"):
+            average_distance(graph)
+
+
+class TestDiameterCoverBound:
+    def test_cover_time_at_least_eccentricity(self):
+        # Information moves one hop per round: cov(u) >= ecc(u).
+        from repro.core.cobra import CobraProcess
+        from repro.core.runner import run_process
+
+        graph = generators.torus((5, 5))
+        distances = bfs_distances(graph, 0)
+        eccentricity = int(distances.max())
+        for seed in range(10):
+            result = run_process(
+                CobraProcess(graph, 0, seed=seed), raise_on_timeout=True
+            )
+            assert result.completion_time >= eccentricity

@@ -1,0 +1,87 @@
+"""Tests for the exact random-walk hitting-time formulas."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.randomwalk import RandomWalkProcess
+from repro.core.runner import run_process
+from repro.errors import GraphPropertyError
+from repro.exact.cobra_exact import ExactCobra
+from repro.graphs import generators
+from repro.graphs.build import from_edges
+from repro.graphs.spectral import (
+    random_walk_cover_time_bounds,
+    random_walk_hitting_times,
+)
+
+
+class TestHittingTimes:
+    def test_complete_graph_closed_form(self):
+        # On K_n, E_u[hit v] = n - 1 for u != v.
+        hitting = random_walk_hitting_times(generators.complete(6))
+        off_diagonal = hitting[~np.eye(6, dtype=bool)]
+        assert np.allclose(off_diagonal, 5.0)
+
+    def test_path_endpoint_closed_form(self):
+        # On a path 0-1-...-m, E_0[hit m] = m^2.
+        hitting = random_walk_hitting_times(generators.path(6))
+        assert hitting[0, 5] == pytest.approx(25.0)
+
+    def test_cycle_closed_form(self):
+        # On C_n, E_u[hit v] = d (n - d) for distance d.
+        hitting = random_walk_hitting_times(generators.cycle(7))
+        assert hitting[0, 1] == pytest.approx(1 * 6)
+        assert hitting[0, 3] == pytest.approx(3 * 4)
+
+    def test_diagonal_is_zero(self, petersen):
+        hitting = random_walk_hitting_times(petersen)
+        assert np.allclose(np.diag(hitting), 0.0)
+
+    def test_matches_exact_walk_engine(self, c9):
+        # E[Hit] from the k=1 exact COBRA survival series must equal
+        # the Laplacian-pseudoinverse formula.
+        hitting = random_walk_hitting_times(c9)
+        engine = ExactCobra(c9, branching=1.0)
+        survival = engine.hitting_survival_series([0], 4, 3000)
+        expectation_from_tail = float(survival.sum())  # sum_t P(Hit > t)
+        assert expectation_from_tail == pytest.approx(hitting[0, 4], abs=1e-6)
+
+    def test_matches_monte_carlo(self, petersen):
+        from repro._rng import spawn_generators
+
+        hitting = random_walk_hitting_times(petersen)
+        target = 7
+        trials = 4000
+        total = 0
+        for rng in spawn_generators(5, trials):
+            process = RandomWalkProcess(petersen, 0, seed=rng)
+            steps = 0
+            while not process.cumulative_mask[target]:
+                process.step()
+                steps += 1
+            total += steps
+        empirical = total / trials
+        assert abs(empirical - hitting[0, target]) < 0.5
+
+    def test_disconnected_rejected(self):
+        graph = from_edges(4, [(0, 1), (2, 3)])
+        with pytest.raises(GraphPropertyError, match="disconnected"):
+            random_walk_hitting_times(graph)
+
+
+class TestCoverTimeBounds:
+    def test_bounds_bracket_measured_cover(self, petersen):
+        lower, upper = random_walk_cover_time_bounds(petersen)
+        times = []
+        for seed in range(30):
+            process = RandomWalkProcess(petersen, 0, seed=seed)
+            result = run_process(process)
+            times.append(result.completion_time)
+        mean_cover = float(np.mean(times))
+        assert lower <= mean_cover <= upper
+
+    def test_bounds_ordered(self, small_expander):
+        lower, upper = random_walk_cover_time_bounds(small_expander)
+        assert 0 < lower < upper

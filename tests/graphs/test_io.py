@@ -1,0 +1,92 @@
+"""Tests for graph persistence (npz archives, edge-list text)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphConstructionError
+from repro.graphs import generators
+from repro.graphs.io import (
+    from_edge_list_text,
+    load_edge_list,
+    load_graph,
+    save_edge_list,
+    save_graph,
+    to_edge_list_text,
+)
+
+
+class TestNpzRoundtrip:
+    def test_roundtrip_preserves_graph(self, tmp_path, petersen):
+        path = save_graph(petersen, tmp_path / "petersen.npz")
+        loaded = load_graph(path)
+        assert loaded == petersen
+        assert loaded.name == petersen.name
+
+    def test_extension_appended(self, tmp_path, petersen):
+        path = save_graph(petersen, tmp_path / "noext")
+        assert path.suffix == ".npz"
+        assert load_graph(path) == petersen
+
+    def test_subdirectories_created(self, tmp_path, petersen):
+        path = save_graph(petersen, tmp_path / "deep" / "dir" / "g.npz")
+        assert path.exists()
+
+    def test_random_graph_roundtrip(self, tmp_path):
+        graph = generators.random_regular(50, 4, seed=9)
+        loaded = load_graph(save_graph(graph, tmp_path / "rr.npz"))
+        assert loaded == graph
+
+    def test_foreign_archive_rejected(self, tmp_path):
+        np.savez(tmp_path / "alien.npz", stuff=np.arange(4))
+        with pytest.raises(GraphConstructionError, match="not a repro graph archive"):
+            load_graph(tmp_path / "alien.npz")
+
+
+class TestEdgeListText:
+    def test_roundtrip(self, petersen):
+        text = to_edge_list_text(petersen)
+        loaded = from_edge_list_text(text)
+        assert loaded == petersen
+        assert loaded.name == petersen.name
+
+    def test_header_contains_metadata(self, petersen):
+        text = to_edge_list_text(petersen)
+        assert "# name: petersen()" in text
+        assert "# vertices: 10" in text
+
+    def test_isolated_vertices_preserved_via_header(self):
+        from repro.graphs.build import from_edges
+
+        graph = from_edges(5, [(0, 1)])
+        assert from_edge_list_text(to_edge_list_text(graph)).n_vertices == 5
+
+    def test_vertex_count_inferred_without_header(self):
+        graph = from_edge_list_text("0 1\n1 2\n")
+        assert graph.n_vertices == 3
+        assert graph.n_edges == 2
+
+    def test_name_override(self):
+        graph = from_edge_list_text("0 1\n", name="custom")
+        assert graph.name == "custom"
+
+    def test_blank_lines_and_comments_skipped(self):
+        graph = from_edge_list_text("# a comment\n\n0 1\n\n# another\n1 2\n")
+        assert graph.n_edges == 2
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(GraphConstructionError, match="line 1"):
+            from_edge_list_text("0 1 2\n")
+
+    def test_non_integer_rejected(self):
+        with pytest.raises(GraphConstructionError, match="non-integer"):
+            from_edge_list_text("a b\n")
+
+    def test_empty_text_rejected(self):
+        with pytest.raises(GraphConstructionError, match="no edges"):
+            from_edge_list_text("# nothing\n")
+
+    def test_file_roundtrip(self, tmp_path, c9):
+        path = save_edge_list(c9, tmp_path / "c9.txt")
+        assert load_edge_list(path) == c9

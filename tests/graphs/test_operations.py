@@ -1,0 +1,147 @@
+"""Tests for graph operations (products, complement, line graph)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphConstructionError
+from repro.graphs import generators
+from repro.graphs.operations import (
+    cartesian_product,
+    complement,
+    disjoint_union,
+    line_graph,
+    product_transition_eigenvalues,
+    tensor_product,
+)
+from repro.graphs.properties import connected_components, is_connected
+from repro.graphs.spectral import eigenvalues
+
+
+class TestCartesianProduct:
+    def test_cycle_product_is_torus(self):
+        product = cartesian_product(generators.cycle(5), generators.cycle(7))
+        torus = generators.torus((5, 7))
+        assert product.n_vertices == torus.n_vertices
+        assert product.n_edges == torus.n_edges
+        assert product.regular_degree == 4
+
+    def test_counts(self):
+        first, second = generators.complete(3), generators.path(4)
+        product = cartesian_product(first, second)
+        assert product.n_vertices == 12
+        # |E| = |V1||E2| + |V2||E1|
+        assert product.n_edges == 3 * 3 + 4 * 3
+
+    def test_spectrum_composes(self):
+        first = generators.complete(4)     # 3-regular
+        second = generators.cycle(5)       # 2-regular
+        product = cartesian_product(first, second)
+        predicted = product_transition_eigenvalues(
+            eigenvalues(first), 3, eigenvalues(second), 2
+        )
+        assert np.allclose(eigenvalues(product), predicted, atol=1e-9)
+
+    def test_hypercube_is_k2_power(self):
+        k2 = generators.complete(2)
+        power = cartesian_product(cartesian_product(k2, k2), k2)
+        cube = generators.hypercube(3)
+        assert power.n_vertices == cube.n_vertices
+        assert power.n_edges == cube.n_edges
+        assert power.regular_degree == 3
+
+
+class TestTensorProduct:
+    def test_counts_for_triangle_pair(self):
+        triangle = generators.complete(3)
+        product = tensor_product(triangle, triangle)
+        assert product.n_vertices == 9
+        # Each pair of edges contributes two product edges: 2|E1||E2|.
+        assert product.n_edges == 2 * 3 * 3
+
+    def test_both_factors_bipartite_disconnects(self):
+        # Weichsel: the tensor product of connected graphs is connected
+        # iff at least one factor is non-bipartite.
+        product = tensor_product(generators.cycle(4), generators.cycle(6))
+        assert len(connected_components(product)) == 2
+
+    def test_one_nonbipartite_factor_connects(self):
+        product = tensor_product(generators.cycle(4), generators.cycle(5))
+        assert is_connected(product)
+        product = tensor_product(generators.cycle(3), generators.cycle(5))
+        assert is_connected(product)
+
+    def test_spectrum_multiplies(self):
+        first = generators.complete(3)
+        second = generators.cycle(5)
+        product = tensor_product(first, second)
+        predicted = np.sort(
+            (eigenvalues(first)[:, None] * eigenvalues(second)[None, :]).ravel()
+        )[::-1]
+        assert np.allclose(eigenvalues(product), predicted, atol=1e-9)
+
+
+class TestDisjointUnion:
+    def test_counts_and_components(self):
+        union = disjoint_union(generators.cycle(4), generators.complete(3))
+        assert union.n_vertices == 7
+        assert union.n_edges == 4 + 3
+        assert len(connected_components(union)) == 2
+
+    def test_second_graph_shifted(self):
+        union = disjoint_union(generators.path(2), generators.path(2))
+        assert union.has_edge(0, 1)
+        assert union.has_edge(2, 3)
+        assert not union.has_edge(1, 2)
+
+
+class TestComplement:
+    def test_complement_of_complete_is_empty(self):
+        assert complement(generators.complete(5)).n_edges == 0
+
+    def test_double_complement_is_identity(self):
+        graph = generators.petersen()
+        assert complement(complement(graph)) == graph
+
+    def test_edge_counts_sum(self):
+        graph = generators.cycle(6)
+        total = graph.n_edges + complement(graph).n_edges
+        assert total == 6 * 5 // 2
+
+    def test_petersen_complement_spectrum(self):
+        # Complement of an r-regular graph: adjacency eigenvalue
+        # n-1-r for the principal, -1-eta otherwise.  Petersen: eta in
+        # {1 (x5), -2 (x4)} -> complement adjacency {6, -2 (x5), 1 (x4)},
+        # transition = /6.
+        spectrum = eigenvalues(complement(generators.petersen()))
+        assert spectrum[0] == pytest.approx(1.0)
+        assert spectrum[1] == pytest.approx(1 / 6, abs=1e-9)
+        assert spectrum[-1] == pytest.approx(-2 / 6, abs=1e-9)
+
+    def test_too_small_rejected(self):
+        from repro.graphs.build import from_edges
+
+        with pytest.raises(GraphConstructionError):
+            complement(from_edges(1, []))
+
+
+class TestLineGraph:
+    def test_cycle_line_graph_is_cycle(self):
+        assert line_graph(generators.cycle(7)).n_edges == 7
+        assert line_graph(generators.cycle(7)).regular_degree == 2
+
+    def test_regularity(self):
+        result = line_graph(generators.petersen())
+        assert result.n_vertices == 15
+        assert result.regular_degree == 4  # 2r - 2
+
+    def test_star_line_graph_is_complete(self):
+        result = line_graph(generators.star(5))
+        assert result == generators.complete(4)
+
+    def test_edgeless_rejected(self):
+        from repro.graphs.build import from_edges
+
+        with pytest.raises(GraphConstructionError, match="edgeless"):
+            line_graph(from_edges(3, []))

@@ -1,0 +1,100 @@
+"""Tests for structural properties in :mod:`repro.graphs.properties`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphPropertyError
+from repro.graphs import generators
+from repro.graphs.build import from_edges
+from repro.graphs.properties import (
+    connected_components,
+    degree_histogram,
+    diameter,
+    eccentricity,
+    is_bipartite,
+    is_connected,
+)
+
+
+class TestConnectivity:
+    def test_connected_graphs(self):
+        assert is_connected(generators.petersen())
+        assert is_connected(generators.cycle(5))
+        assert is_connected(generators.path(9))
+
+    def test_disconnected(self):
+        graph = from_edges(4, [(0, 1), (2, 3)])
+        assert not is_connected(graph)
+
+    def test_isolated_vertex(self):
+        graph = from_edges(3, [(0, 1)])
+        assert not is_connected(graph)
+
+    def test_single_vertex_connected(self):
+        graph = from_edges(1, [])
+        assert is_connected(graph)
+
+    def test_components(self):
+        graph = from_edges(6, [(0, 1), (2, 3), (3, 4)])
+        components = connected_components(graph)
+        assert [list(c) for c in components] == [[0, 1], [2, 3, 4], [5]]
+
+    def test_components_of_connected_graph(self):
+        assert len(connected_components(generators.cycle(6))) == 1
+
+
+class TestBipartite:
+    def test_known_bipartite(self):
+        assert is_bipartite(generators.hypercube(3))
+        assert is_bipartite(generators.complete_bipartite(3, 4))
+        assert is_bipartite(generators.binary_tree(3))
+        assert is_bipartite(generators.cycle(6))
+
+    def test_known_non_bipartite(self):
+        assert not is_bipartite(generators.petersen())
+        assert not is_bipartite(generators.complete(4))
+        assert not is_bipartite(generators.cycle(7))
+
+    def test_disconnected_bipartite(self):
+        graph = from_edges(4, [(0, 1), (2, 3)])
+        assert is_bipartite(graph)
+
+    def test_disconnected_with_odd_cycle(self):
+        graph = from_edges(6, [(0, 1), (2, 3), (3, 4), (4, 2)])
+        assert not is_bipartite(graph)
+
+
+class TestDistances:
+    def test_eccentricity(self):
+        assert eccentricity(generators.path(5), 0) == 4
+        assert eccentricity(generators.path(5), 2) == 2
+
+    def test_eccentricity_requires_connected(self):
+        graph = from_edges(3, [(0, 1)])
+        with pytest.raises(GraphPropertyError, match="disconnected"):
+            eccentricity(graph, 0)
+
+    def test_diameter_known_values(self):
+        assert diameter(generators.petersen()) == 2
+        assert diameter(generators.cycle(8)) == 4
+        assert diameter(generators.path(6)) == 5
+        assert diameter(generators.complete(9)) == 1
+        assert diameter(generators.hypercube(4)) == 4
+
+    def test_sampled_diameter_is_lower_bound(self):
+        graph = generators.cycle(30)
+        sampled = diameter(graph, sample_size=5, seed=0)
+        assert sampled <= 15
+        assert sampled >= 1
+
+
+class TestDegreeHistogram:
+    def test_regular(self):
+        assert degree_histogram(generators.cycle(5)) == {2: 5}
+
+    def test_star(self):
+        assert degree_histogram(generators.star(5)) == {1: 4, 4: 1}
+
+    def test_path(self):
+        assert degree_histogram(generators.path(4)) == {1: 2, 2: 2}

@@ -1,0 +1,120 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments import e4_duality
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_options(self):
+        args = build_parser().parse_args(
+            ["run", "E1", "--mode", "full", "--seed", "7", "--out", "results"]
+        )
+        assert args.experiment == "E1"
+        assert args.mode == "full"
+        assert args.seed == 7
+        assert str(args.out) == "results"
+
+    def test_mode_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "E1", "--mode", "huge"])
+
+
+class TestCommands:
+    def test_list_prints_all_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for i in range(1, 11):
+            assert f"E{i} " in out or f"E{i}  " in out
+
+    def test_info_prints_spec(self, capsys):
+        assert main(["info", "E4"]) == 0
+        out = capsys.readouterr().out
+        assert "[E4]" in out
+        assert "Theorem 4" in out
+
+    def test_info_unknown_experiment_fails(self, capsys):
+        assert main(["info", "E77"]) == 1
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_graph_info_structured_family(self, capsys):
+        assert main(["graph-info", "petersen"]) == 0
+        out = capsys.readouterr().out
+        assert "n=10" in out
+        assert "lambda" in out
+        assert "0.666667" in out
+
+    def test_graph_info_tuple_parameter(self, capsys):
+        assert main(["graph-info", "torus", "3,5"]) == 0
+        assert "n=15" in capsys.readouterr().out
+
+    def test_graph_info_seeded_family(self, capsys):
+        assert main(["graph-info", "random_regular", "32", "4", "--seed", "1"]) == 0
+        assert "r=4" in capsys.readouterr().out
+
+    def test_graph_info_unknown_family(self, capsys):
+        assert main(["graph-info", "made_up"]) == 1
+        assert "unknown graph family" in capsys.readouterr().err
+
+    def test_graph_info_bad_arguments(self, capsys):
+        assert main(["graph-info", "complete"]) == 1
+        assert "bad arguments" in capsys.readouterr().err
+
+    def test_cover_command(self, capsys):
+        assert main(["cover", "-n", "64", "-r", "4", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "covered in" in out
+        assert "t=" in out
+        assert "#" in out
+
+    def test_duality_command(self, capsys):
+        assert main(["duality", "--graph", "k7", "--t-max", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "max |difference|" in out
+        # The printed gap must be float noise.
+        gap_line = [line for line in out.splitlines() if "max |difference|" in line][0]
+        assert "e-1" in gap_line or "0.000e+00" in gap_line
+
+    def test_run_executes_and_saves(self, capsys, tmp_path, monkeypatch):
+        # Shrink E4 so the CLI round trip is fast.
+        monkeypatch.setattr(e4_duality, "QUICK_TRIALS", 50)
+        monkeypatch.setattr(e4_duality, "EXACT_T_MAX", 3)
+        assert main(["run", "E4", "--out", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "[E4]" in out
+        assert "finished in" in out
+        saved = tmp_path / "e4_quick.json"
+        assert saved.exists()
+        payload = json.loads(saved.read_text())
+        assert payload["spec"]["experiment_id"] == "E4"
+
+    def test_campaign_command(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setattr(e4_duality, "QUICK_TRIALS", 50)
+        monkeypatch.setattr(e4_duality, "EXACT_T_MAX", 3)
+        description = tmp_path / "campaign.json"
+        description.write_text(
+            '{"name": "cli-mini", "entries": [{"experiment_id": "E4"}]}'
+        )
+        assert main(["campaign", str(description), "--out", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "cli-mini" in out
+        assert (tmp_path / "cli-mini" / "manifest.json").exists()
+
+    def test_campaign_rejects_malformed_file(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{broken")
+        assert main(["campaign", str(bad)]) == 1
+        assert "malformed" in capsys.readouterr().err

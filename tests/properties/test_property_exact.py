@@ -1,0 +1,95 @@
+"""Property-based tests of the exact engines — including randomised
+verification of the paper's duality theorem on arbitrary graphs."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exact.bips_exact import ExactBips
+from repro.exact.cobra_exact import ExactCobra
+from repro.exact.duality import duality_gap
+
+from tests.properties.strategies import (
+    branching_factors,
+    connected_small_graphs,
+    small_regular_graphs,
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(graph=connected_small_graphs(), branching=branching_factors, data=st.data())
+def test_exact_bips_conserves_mass(graph, branching, data):
+    source = data.draw(st.integers(0, graph.n_vertices - 1))
+    engine = ExactBips(graph, source, branching=branching)
+    t = data.draw(st.integers(0, 5))
+    distribution = engine.distribution_at(t)
+    assert np.all(distribution >= -1e-15)
+    assert distribution.sum() == np.float64(1.0).item() or abs(distribution.sum() - 1) < 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(graph=connected_small_graphs(), branching=branching_factors, data=st.data())
+def test_exact_bips_source_membership_certain(graph, branching, data):
+    source = data.draw(st.integers(0, graph.n_vertices - 1))
+    engine = ExactBips(graph, source, branching=branching)
+    t = data.draw(st.integers(0, 5))
+    assert engine.membership_probability(source, t) == np.float64(1.0) or abs(
+        engine.membership_probability(source, t) - 1.0
+    ) < 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(graph=connected_small_graphs(), branching=branching_factors, data=st.data())
+def test_exact_cobra_conserves_mass(graph, branching, data):
+    engine = ExactCobra(graph, branching=branching)
+    start = data.draw(st.integers(0, graph.n_vertices - 1))
+    t = data.draw(st.integers(0, 4))
+    distribution = engine.distribution_at([start], t)
+    assert np.all(distribution >= -1e-15)
+    assert abs(distribution.sum() - 1.0) < 1e-9
+    # No mass on the empty set: COBRA's active set never dies.
+    assert distribution[0] < 1e-15
+
+
+@settings(max_examples=25, deadline=None)
+@given(graph=connected_small_graphs(), data=st.data())
+def test_exact_hitting_survival_monotone(graph, data):
+    engine = ExactCobra(graph)
+    start = data.draw(st.integers(0, graph.n_vertices - 1))
+    target = data.draw(st.integers(0, graph.n_vertices - 1))
+    series = engine.hitting_survival_series([start], target, 8)
+    assert np.all(np.diff(series) <= 1e-12)
+    assert np.all(series >= -1e-15)
+    assert np.all(series <= 1.0 + 1e-12)
+
+
+# ----------------------------------------------------------------------
+# Theorem 4, property-based: the identity holds for *every* graph,
+# start set, source, branching factor, and horizon.
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=20, deadline=None)
+@given(graph=connected_small_graphs(max_vertices=7), branching=branching_factors, data=st.data())
+def test_duality_on_arbitrary_graphs(graph, branching, data):
+    n = graph.n_vertices
+    source = data.draw(st.integers(0, n - 1))
+    start_size = data.draw(st.integers(1, n - 1))
+    start = sorted(
+        data.draw(
+            st.sets(st.integers(0, n - 1), min_size=start_size, max_size=start_size)
+        )
+    )
+    assert duality_gap(graph, start, source, 6, branching=branching) < 1e-10
+
+
+@settings(max_examples=15, deadline=None)
+@given(graph=small_regular_graphs(), branching=branching_factors, data=st.data())
+def test_duality_on_regular_graphs(graph, branching, data):
+    # The paper's stated setting: regular graphs.
+    n = graph.n_vertices
+    source = data.draw(st.integers(0, n - 1))
+    start = data.draw(st.integers(0, n - 1))
+    assert duality_gap(graph, [start], source, 8, branching=branching) < 1e-10

@@ -1,0 +1,71 @@
+"""Property-based tests of the graph substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.properties import connected_components, is_connected
+from repro.graphs.spectral import eigenvalues, lambda_second
+
+from tests.properties.strategies import connected_small_graphs, small_regular_graphs
+
+
+@settings(max_examples=60, deadline=None)
+@given(graph=connected_small_graphs())
+def test_degree_sum_is_twice_edges(graph):
+    assert int(graph.degrees.sum()) == 2 * graph.n_edges
+
+
+@settings(max_examples=60, deadline=None)
+@given(graph=connected_small_graphs())
+def test_adjacency_symmetric(graph):
+    for u in range(graph.n_vertices):
+        for v in graph.neighbors(u):
+            assert graph.has_edge(int(v), u)
+
+
+@settings(max_examples=60, deadline=None)
+@given(graph=connected_small_graphs())
+def test_neighbors_sorted_and_distinct(graph):
+    for u in range(graph.n_vertices):
+        row = graph.neighbors(u)
+        assert np.all(np.diff(row) > 0)
+        assert u not in row
+
+
+@settings(max_examples=60, deadline=None)
+@given(graph=connected_small_graphs())
+def test_generated_graphs_are_connected(graph):
+    assert is_connected(graph)
+    components = connected_components(graph)
+    assert len(components) == 1
+    assert len(components[0]) == graph.n_vertices
+
+
+@settings(max_examples=40, deadline=None)
+@given(graph=connected_small_graphs())
+def test_spectrum_within_unit_interval(graph):
+    spectrum = eigenvalues(graph)
+    assert spectrum[0] == np.max(spectrum)
+    assert abs(spectrum[0] - 1.0) < 1e-9
+    assert np.all(spectrum >= -1.0 - 1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(graph=small_regular_graphs())
+def test_lambda_second_in_unit_interval(graph):
+    lam = lambda_second(graph)
+    assert -1e-12 <= lam <= 1.0 + 1e-12
+
+
+@settings(max_examples=40, deadline=None)
+@given(graph=connected_small_graphs(), data=st.data())
+def test_sample_neighbors_respects_adjacency(graph, data):
+    rng = np.random.default_rng(data.draw(st.integers(0, 1000)))
+    vertices = np.arange(graph.n_vertices, dtype=np.int64)
+    picks = graph.sample_neighbors(vertices, 3, rng)
+    for u in range(graph.n_vertices):
+        for v in picks[u]:
+            assert graph.has_edge(u, int(v))

@@ -1,0 +1,98 @@
+"""Property-based invariants of the process engines."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bips import BipsProcess
+from repro.core.cobra import CobraProcess
+from repro.core.push import PushProcess
+from repro.core.sis import SisProcess
+
+from tests.properties.strategies import branching_factors, connected_small_graphs, seeds
+
+
+@settings(max_examples=40, deadline=None)
+@given(graph=connected_small_graphs(), branching=branching_factors, seed=seeds)
+def test_cobra_invariants(graph, branching, seed):
+    process = CobraProcess(graph, 0, branching=branching, seed=seed)
+    previous_cumulative = process.cumulative_count
+    for _ in range(12):
+        record = process.step()
+        # The active set is never empty and the cumulative set only grows.
+        assert record.active_count >= 1
+        assert record.cumulative_count >= previous_cumulative
+        assert record.cumulative_count - previous_cumulative == record.newly_reached
+        # Every active vertex has been covered.
+        assert not np.any(process.active_mask & ~process.cumulative_mask)
+        previous_cumulative = record.cumulative_count
+
+
+@settings(max_examples=40, deadline=None)
+@given(graph=connected_small_graphs(), branching=branching_factors, seed=seeds)
+def test_cobra_first_hits_consistent(graph, branching, seed):
+    process = CobraProcess(graph, 0, branching=branching, seed=seed)
+    for _ in range(10):
+        process.step()
+    hits = process.first_hit_times()
+    covered = process.cumulative_mask
+    # Hit times exist exactly for covered vertices (plus the start at 0).
+    for u in range(graph.n_vertices):
+        if covered[u]:
+            assert 1 <= hits[u] <= process.round_index
+        elif u != 0:
+            assert hits[u] == -1
+    assert hits[0] >= 0  # the start vertex records round 0 (or a revisit)
+
+
+@settings(max_examples=40, deadline=None)
+@given(graph=connected_small_graphs(), branching=branching_factors, seed=seeds)
+def test_bips_source_never_lost(graph, branching, seed):
+    source = graph.n_vertices - 1
+    process = BipsProcess(graph, source, branching=branching, seed=seed)
+    for _ in range(12):
+        record = process.step()
+        assert process.is_infected(source)
+        assert record.active_count >= 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(graph=connected_small_graphs(), seed=seeds)
+def test_bips_infection_needs_infected_neighbor(graph, seed):
+    process = BipsProcess(graph, 0, seed=seed)
+    previous = process.active_mask
+    for _ in range(8):
+        process.step()
+        current = process.active_mask
+        for u in np.flatnonzero(current):
+            if int(u) == 0:
+                continue
+            neighbors = graph.neighbors(int(u))
+            assert previous[neighbors].any()
+        previous = current
+
+
+@settings(max_examples=30, deadline=None)
+@given(graph=connected_small_graphs(), seed=seeds)
+def test_sis_extinction_absorbing(graph, seed):
+    process = SisProcess(graph, 0, branching=1.0, seed=seed)
+    for _ in range(60):
+        record = process.step()
+        if record.active_count == 0:
+            follow_up = process.step()
+            assert follow_up.active_count == 0
+            assert process.is_extinct
+            return
+
+
+@settings(max_examples=30, deadline=None)
+@given(graph=connected_small_graphs(), seed=seeds)
+def test_push_monotone_and_bounded_growth(graph, seed):
+    process = PushProcess(graph, 0, seed=seed)
+    previous = 1
+    for _ in range(10):
+        record = process.step()
+        assert previous <= record.active_count <= 2 * previous
+        previous = record.active_count

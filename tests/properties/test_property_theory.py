@@ -1,0 +1,71 @@
+"""Property-based verification of Lemma 1 / Corollary 1 (growth bound)."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exact.bips_exact import ExactBips
+from repro.exact.subsets import mask_from_vertices, popcount_table
+from repro.graphs.spectral import lambda_second
+from repro.theory.bounds import fractional_growth_bound, growth_lower_bound
+from repro.theory.growth import expected_next_infected_size
+
+from tests.properties.strategies import small_regular_graphs
+
+
+@settings(max_examples=30, deadline=None)
+@given(graph=small_regular_graphs(), data=st.data())
+def test_lemma1_growth_bound_on_random_states(graph, data):
+    """Lemma 1: exact E(|A_{t+1}|) >= |A|(1 + (1-λ²)(1-|A|/n)) for k=2."""
+    n = graph.n_vertices
+    source = data.draw(st.integers(0, n - 1))
+    others = sorted(
+        data.draw(st.sets(st.integers(0, n - 1), min_size=0, max_size=n - 1))
+    )
+    infected = sorted(set(others) | {source})
+    # Clamp float noise; bipartite families legitimately have lambda = 1.
+    lam = min(lambda_second(graph), 1.0)
+    exact = expected_next_infected_size(graph, infected, source, branching=2.0)
+    bound = growth_lower_bound(len(infected), n, lam)
+    assert exact >= bound - 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    graph=small_regular_graphs(),
+    rho=st.sampled_from([0.1, 0.25, 0.5, 0.75]),
+    data=st.data(),
+)
+def test_corollary1_growth_bound_on_random_states(graph, rho, data):
+    """Corollary 1: the same with gain scaled by rho for branching 1+rho."""
+    n = graph.n_vertices
+    source = data.draw(st.integers(0, n - 1))
+    others = sorted(
+        data.draw(st.sets(st.integers(0, n - 1), min_size=0, max_size=n - 1))
+    )
+    infected = sorted(set(others) | {source})
+    lam = min(lambda_second(graph), 1.0)
+    exact = expected_next_infected_size(graph, infected, source, branching=1.0 + rho)
+    bound = fractional_growth_bound(len(infected), n, lam, rho)
+    assert exact >= bound - 1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(graph=small_regular_graphs(), data=st.data())
+def test_growth_formula_matches_exact_engine(graph, data):
+    """Paper Eq. (3) equals the mean of the exact one-step distribution."""
+    n = graph.n_vertices
+    source = data.draw(st.integers(0, n - 1))
+    others = sorted(
+        data.draw(st.sets(st.integers(0, n - 1), min_size=0, max_size=n - 1))
+    )
+    infected = sorted(set(others) | {source})
+    formula = expected_next_infected_size(graph, infected, source, branching=2.0)
+
+    engine = ExactBips(graph, source, branching=2.0)
+    distribution = engine.step_distribution(mask_from_vertices(infected))
+    sizes = popcount_table(n).astype(np.float64)
+    from_distribution = float((distribution * sizes).sum())
+    assert abs(formula - from_distribution) < 1e-9

@@ -1,0 +1,90 @@
+"""Tests for the RNG plumbing in :mod:`repro._rng`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._rng import derive_seed_sequence, ensure_generator, spawn_generators
+
+
+class TestEnsureGenerator:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_generator(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = ensure_generator(42).integers(0, 1 << 30, size=8)
+        b = ensure_generator(42).integers(0, 1 << 30, size=8)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = ensure_generator(1).integers(0, 1 << 30, size=8)
+        b = ensure_generator(2).integers(0, 1 << 30, size=8)
+        assert not np.array_equal(a, b)
+
+    def test_tuple_seed_is_deterministic(self):
+        a = ensure_generator((1, 2, 3)).integers(0, 1 << 30, size=8)
+        b = ensure_generator((1, 2, 3)).integers(0, 1 << 30, size=8)
+        assert np.array_equal(a, b)
+
+    def test_tuple_components_matter(self):
+        a = ensure_generator((1, 2, 3)).integers(0, 1 << 30, size=8)
+        b = ensure_generator((1, 2, 4)).integers(0, 1 << 30, size=8)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passes_through_unchanged(self):
+        generator = np.random.default_rng(0)
+        assert ensure_generator(generator) is generator
+
+    def test_seed_sequence_accepted(self):
+        sequence = np.random.SeedSequence(99)
+        a = ensure_generator(sequence).integers(0, 1 << 30, size=4)
+        b = ensure_generator(np.random.SeedSequence(99)).integers(0, 1 << 30, size=4)
+        assert np.array_equal(a, b)
+
+
+class TestSpawnGenerators:
+    def test_count(self):
+        assert len(spawn_generators(0, 5)) == 5
+
+    def test_zero_count(self):
+        assert spawn_generators(0, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            spawn_generators(0, -1)
+
+    def test_children_are_independent_streams(self):
+        children = spawn_generators(7, 3)
+        draws = [child.integers(0, 1 << 30, size=8) for child in children]
+        assert not np.array_equal(draws[0], draws[1])
+        assert not np.array_equal(draws[1], draws[2])
+
+    def test_reproducible_from_same_seed(self):
+        first = [g.integers(0, 1 << 30, size=4) for g in spawn_generators(3, 2)]
+        second = [g.integers(0, 1 << 30, size=4) for g in spawn_generators(3, 2)]
+        for a, b in zip(first, second):
+            assert np.array_equal(a, b)
+
+    def test_spawn_from_generator(self):
+        parent = np.random.default_rng(0)
+        children = spawn_generators(parent, 2)
+        assert len(children) == 2
+        assert all(isinstance(child, np.random.Generator) for child in children)
+
+
+class TestDeriveSeedSequence:
+    def test_from_int(self):
+        assert isinstance(derive_seed_sequence(5), np.random.SeedSequence)
+
+    def test_from_tuple(self):
+        sequence = derive_seed_sequence((1, 2))
+        assert isinstance(sequence, np.random.SeedSequence)
+
+    def test_identity_on_seed_sequence(self):
+        sequence = np.random.SeedSequence(1)
+        assert derive_seed_sequence(sequence) is sequence
+
+    def test_from_generator(self):
+        generator = np.random.default_rng(1)
+        assert isinstance(derive_seed_sequence(generator), np.random.SeedSequence)

@@ -1,0 +1,120 @@
+"""Tests for the paper's closed-form bounds in :mod:`repro.theory.bounds`."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.theory.bounds import (
+    cover_time_bound,
+    dutta_cover_bound,
+    fractional_growth_bound,
+    growth_lower_bound,
+    lemma2_round_budget,
+    lemma3_round_budget,
+    lemma4_round_budget,
+    phase_boundary_size,
+    spectral_condition_holds,
+)
+
+
+class TestCoverTimeBound:
+    def test_formula(self):
+        assert cover_time_bound(100, 0.5) == pytest.approx(math.log(100) / 0.125)
+
+    def test_explodes_as_gap_closes(self):
+        assert cover_time_bound(100, 0.99) > cover_time_bound(100, 0.5) * 1000
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="lambda"):
+            cover_time_bound(100, 1.0)
+        with pytest.raises(ValueError, match="lambda"):
+            cover_time_bound(100, -0.1)
+        with pytest.raises(ValueError, match="n must"):
+            cover_time_bound(1, 0.5)
+
+
+class TestDuttaBound:
+    def test_formula(self):
+        assert dutta_cover_bound(100) == pytest.approx(math.log(100) ** 2)
+
+    def test_theorem1_improves_on_it_for_large_n(self):
+        # On an expander with constant gap, T = log n / (1 - lam)^3 is
+        # eventually below log^2 n.
+        lam = 0.5
+        n = 10**9
+        assert cover_time_bound(n, lam) < dutta_cover_bound(n)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="n must"):
+            dutta_cover_bound(1)
+
+
+class TestSpectralCondition:
+    def test_expander_satisfies(self):
+        assert spectral_condition_holds(1000, 0.5)
+
+    def test_tiny_gap_fails(self):
+        # 1 - lambda = 1e-4 << sqrt(log(1000)/1000) ~ 0.083.
+        assert not spectral_condition_holds(1000, 1 - 1e-4)
+
+    def test_constant_scales_requirement(self):
+        n, lam = 1000, 0.9
+        assert spectral_condition_holds(n, lam, constant=1.0)
+        assert not spectral_condition_holds(n, lam, constant=2.0)
+
+
+class TestGrowthBounds:
+    def test_lemma1_formula(self):
+        # |A|=10, n=100, lam=0.5: 10 * (1 + 0.75 * 0.9) = 16.75.
+        assert growth_lower_bound(10, 100, 0.5) == pytest.approx(16.75)
+
+    def test_no_gain_at_full_infection(self):
+        assert growth_lower_bound(100, 100, 0.5) == pytest.approx(100.0)
+
+    def test_corollary1_reduces_to_lemma1_at_rho_one(self):
+        assert fractional_growth_bound(10, 100, 0.5, 1.0) == pytest.approx(
+            growth_lower_bound(10, 100, 0.5)
+        )
+
+    def test_corollary1_rho_zero_is_neutral(self):
+        assert fractional_growth_bound(10, 100, 0.5, 0.0) == pytest.approx(10.0)
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError, match="size"):
+            growth_lower_bound(101, 100, 0.5)
+        with pytest.raises(ValueError, match="rho"):
+            fractional_growth_bound(10, 100, 0.5, 1.5)
+
+
+class TestPhaseBudgets:
+    def test_lemma2_formula(self):
+        n, lam, m = 1000, 0.5, 40.0
+        expected = 13 * 40 / 0.5 + 24 * math.log(1000) / 0.25
+        assert lemma2_round_budget(m, n, lam) == pytest.approx(expected)
+
+    def test_lemma2_confidence_scales_log_term(self):
+        base = lemma2_round_budget(10, 1000, 0.5, confidence=1.0)
+        doubled = lemma2_round_budget(10, 1000, 0.5, confidence=2.0)
+        assert doubled > base
+        assert doubled - base == pytest.approx(24 * math.log(1000) / 0.25)
+
+    def test_lemma3_and_4_formulas(self):
+        n, lam = 1000, 0.5
+        assert lemma3_round_budget(n, lam) == pytest.approx(23 * math.log(n) / 0.5)
+        assert lemma4_round_budget(n, lam) == pytest.approx(8 * math.log(n) / 0.5)
+
+    def test_phase_boundary_default_is_paper_constant(self):
+        n, lam = 1000, 0.5
+        assert phase_boundary_size(n, lam) == pytest.approx(4000 * math.log(n) / 0.25)
+
+    def test_lemma2_rejects_nonpositive_m(self):
+        with pytest.raises(ValueError, match="m must"):
+            lemma2_round_budget(0, 1000, 0.5)
+
+
+class TestBudgetOrdering:
+    def test_budgets_shrink_with_larger_gap(self):
+        for budget in (lemma3_round_budget, lemma4_round_budget):
+            assert budget(1000, 0.2) < budget(1000, 0.8)

@@ -1,0 +1,93 @@
+"""Tests for the exact one-step growth expectation (paper Eq. (3))."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import generators
+from repro.graphs.spectral import lambda_second
+from repro.theory.growth import (
+    expected_next_infected_size,
+    growth_bound_ratio,
+    infected_neighbor_counts,
+    minimum_growth_ratio,
+)
+
+
+class TestInfectedNeighborCounts:
+    def test_counts_on_cycle(self, c9):
+        mask = np.zeros(9, dtype=bool)
+        mask[[0, 1]] = True
+        counts = infected_neighbor_counts(c9, mask)
+        assert counts[0] == 1  # neighbour 1 infected
+        assert counts[1] == 1  # neighbour 0 infected
+        assert counts[2] == 1  # neighbour 1 infected
+        assert counts[8] == 1  # neighbour 0 infected
+        assert counts[5] == 0
+
+    def test_shape_validation(self, c9):
+        with pytest.raises(ValueError, match="shape"):
+            infected_neighbor_counts(c9, np.zeros(5, dtype=bool))
+
+
+class TestExpectedNextSize:
+    def test_singleton_source_on_regular_graph(self, petersen):
+        # E = 1 + r * (1 - (1 - 1/r)^2) = 1 + 3 * (1 - 4/9) = 8/3.
+        value = expected_next_infected_size(petersen, [0], 0)
+        assert value == pytest.approx(1 + 3 * (1 - (2 / 3) ** 2))
+
+    def test_full_set_gives_n(self, petersen):
+        value = expected_next_infected_size(petersen, list(range(10)), 0)
+        assert value == pytest.approx(10.0)
+
+    def test_k1_equals_size_on_regular_graphs(self, petersen):
+        # With k=1 the sum of hit probabilities telescopes to |A| minus
+        # the source adjustment: E = 1 + sum_{u != v} d_A(u)/r, and
+        # sum_u d_A(u) = r |A|, so E = |A| + 1 - d_A(v)/r.
+        infected = [0, 1, 5]
+        value = expected_next_infected_size(petersen, infected, 0, branching=1.0)
+        d_source = sum(1 for w in petersen.neighbors(0) if w in infected)
+        assert value == pytest.approx(3 + 1 - d_source / 3)
+
+    def test_requires_source_in_set(self, petersen):
+        with pytest.raises(ValueError, match="must contain the source"):
+            expected_next_infected_size(petersen, [1, 2], 0)
+
+    def test_monotone_in_branching(self, petersen):
+        infected = [0, 1, 2]
+        values = [
+            expected_next_infected_size(petersen, infected, 0, branching=b)
+            for b in (1.0, 1.5, 2.0, 3.0)
+        ]
+        assert all(a <= b + 1e-12 for a, b in zip(values, values[1:]))
+
+
+class TestGrowthBoundRatio:
+    def test_lemma1_holds_on_petersen_exhaustively(self, petersen):
+        lam = 2.0 / 3.0
+        worst = np.inf
+        for mask_bits in range(1 << 10):
+            if not mask_bits & 1:
+                continue
+            mask = np.array([(mask_bits >> u) & 1 == 1 for u in range(10)])
+            worst = min(worst, growth_bound_ratio(petersen, mask, 0, lam))
+        assert worst >= 1.0 - 1e-12
+
+    def test_corollary1_holds_on_cycle(self, c9):
+        lam = lambda_second(c9)
+        for branching in (1.25, 1.5, 1.75):
+            ratio = minimum_growth_ratio(
+                c9, 0, lam, branching=branching, n_random_sets=100, seed=0
+            )
+            assert ratio >= 1.0 - 1e-9
+
+    def test_minimum_growth_ratio_deterministic(self, small_expander):
+        lam = lambda_second(small_expander)
+        a = minimum_growth_ratio(small_expander, 0, lam, n_random_sets=50, seed=3)
+        b = minimum_growth_ratio(small_expander, 0, lam, n_random_sets=50, seed=3)
+        assert a == b
+
+    def test_bound_tight_at_full_set(self, petersen):
+        mask = np.ones(10, dtype=bool)
+        assert growth_bound_ratio(petersen, mask, 0, 2 / 3) == pytest.approx(1.0)
