@@ -24,7 +24,7 @@ Quickstart::
     print(result.completion_time)   # O(log n) rounds on an expander
 """
 
-from repro import analysis, core, exact, experiments, graphs, theory
+from repro import analysis, core, exact, experiments, graphs, parallel, theory
 from repro.core import (
     BipsProcess,
     CobraProcess,
@@ -46,6 +46,7 @@ from repro.errors import (
     ExperimentError,
     GraphConstructionError,
     GraphPropertyError,
+    ParallelError,
     ProcessError,
     ReproError,
 )
@@ -62,6 +63,7 @@ __all__ = [
     "theory",
     "analysis",
     "experiments",
+    "parallel",
     # core types
     "Graph",
     "SpreadingProcess",
@@ -85,4 +87,5 @@ __all__ = [
     "CoverTimeoutError",
     "ExactEngineError",
     "ExperimentError",
+    "ParallelError",
 ]

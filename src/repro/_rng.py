@@ -37,6 +37,23 @@ def ensure_generator(seed: SeedLike = None) -> np.random.Generator:
     return np.random.default_rng(seed)
 
 
+def spawn_seed_sequences(seed: SeedLike, count: int) -> list[np.random.SeedSequence]:
+    """Spawn ``count`` independent child ``SeedSequence``s from ``seed``.
+
+    The picklable form of :func:`spawn_generators`: child sequences are
+    what the parallel layer ships to worker processes, and child ``i``
+    is the same object regardless of how the work is later sharded.
+    If ``seed`` is a ``Generator`` the children are spawned from its
+    internal bit generator's sequence, advancing its spawn counter;
+    otherwise a fresh ``SeedSequence`` is built.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    if isinstance(seed, np.random.Generator):
+        return list(seed.bit_generator.seed_seq.spawn(count))
+    return list(derive_seed_sequence(seed).spawn(count))
+
+
 def spawn_generators(seed: SeedLike, count: int) -> list[np.random.Generator]:
     """Create ``count`` independent generators derived from ``seed``.
 
@@ -44,11 +61,7 @@ def spawn_generators(seed: SeedLike, count: int) -> list[np.random.Generator]:
     its internal bit generator, advancing it; otherwise a fresh
     ``SeedSequence`` is built.  Children are independent of each other.
     """
-    if count < 0:
-        raise ValueError(f"count must be non-negative, got {count}")
-    if isinstance(seed, np.random.Generator):
-        return [np.random.default_rng(s) for s in seed.bit_generator.seed_seq.spawn(count)]
-    return [np.random.default_rng(child) for child in derive_seed_sequence(seed).spawn(count)]
+    return [np.random.default_rng(child) for child in spawn_seed_sequences(seed, count)]
 
 
 def derive_seed_sequence(seed: SeedLike) -> np.random.SeedSequence:

@@ -7,6 +7,12 @@ Usage (installed as ``cobra-repro`` or via ``python -m repro``)::
     cobra-repro run E1 --mode quick       # run and print one experiment
     cobra-repro run E1 --out results/     # ... also write JSON
     cobra-repro all --mode quick          # run everything in order
+    cobra-repro run E1 --jobs 4           # shard ensembles over 4 workers
+    cobra-repro campaign c.json --jobs 0  # one campaign entry per CPU
+
+``--jobs`` never changes results: replica seeding is sharded
+seed-stably (see :mod:`repro.parallel`), so any worker count produces
+the same numbers.
 """
 
 from __future__ import annotations
@@ -28,6 +34,16 @@ def build_parser() -> argparse.ArgumentParser:
         description=(
             "Reproduction of 'The Coalescing-Branching Random Walk on Expanders "
             "and the Dual Epidemic Process' (Cooper, Radzik, Rivera; PODC 2016)"
+        ),
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "worker processes for ensemble sampling and campaign entries "
+            "(default 1; 0 = one per CPU); results are independent of N"
         ),
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
@@ -88,14 +104,15 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument(
         "--out", type=Path, default=Path("results"), help="output directory root"
     )
+    _add_jobs_option(campaign)
     return parser
 
 
-def _campaign(file: Path, out: Path) -> None:
+def _campaign(file: Path, out: Path, jobs: int) -> None:
     from repro.experiments.campaign import Campaign, run_campaign
 
     description = Campaign.from_json(file.read_text())
-    manifest = run_campaign(description, out, progress=print)
+    manifest = run_campaign(description, out, progress=print, jobs=jobs)
     total = sum(entry["seconds"] for entry in manifest["entries"])
     print(
         f"campaign {description.name!r}: {len(manifest['entries'])} runs "
@@ -176,6 +193,18 @@ def _graph_info(family: str, params: list[str], seed: int) -> None:
         print(f"  diameter  : {diameter(graph)}")
 
 
+def _add_jobs_option(subparser: argparse.ArgumentParser) -> None:
+    # SUPPRESS keeps a subcommand-level `--jobs` from clobbering the
+    # global flag's value when it is not given after the subcommand.
+    subparser.add_argument(
+        "--jobs",
+        type=int,
+        default=argparse.SUPPRESS,
+        metavar="N",
+        help="worker processes (default 1; 0 = one per CPU)",
+    )
+
+
 def _add_run_options(subparser: argparse.ArgumentParser) -> None:
     subparser.add_argument(
         "--mode",
@@ -191,6 +220,7 @@ def _add_run_options(subparser: argparse.ArgumentParser) -> None:
         metavar="DIR",
         help="directory to write JSON results into",
     )
+    _add_jobs_option(subparser)
 
 
 def _run_one(experiment_id: str, mode: str, seed: int, out: Path | None) -> None:
@@ -207,9 +237,16 @@ def _run_one(experiment_id: str, mode: str, seed: int, out: Path | None) -> None
 
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
+    from repro.parallel import resolve_jobs, set_default_jobs
+
     parser = build_parser()
     args = parser.parse_args(argv)
+    previous_jobs = None
     try:
+        jobs = resolve_jobs(args.jobs)
+        # Process-wide default so every ensemble an experiment measures
+        # inherits the flag; restored for embedded callers (tests).
+        previous_jobs = set_default_jobs(jobs)
         if args.command == "list":
             for experiment_id in experiment_ids():
                 spec = get_spec(experiment_id)
@@ -229,10 +266,13 @@ def main(argv: Sequence[str] | None = None) -> int:
         elif args.command == "duality":
             _duality(args.graph, args.branching, args.t_max)
         elif args.command == "campaign":
-            _campaign(args.file, args.out)
+            _campaign(args.file, args.out, jobs)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
+    finally:
+        if previous_jobs is not None:
+            set_default_jobs(previous_jobs)
     return 0
 
 

@@ -8,25 +8,33 @@ measurement 10–50× faster for small graphs and large `R`.
 
 Semantics are identical to :class:`~repro.core.cobra.CobraProcess` and
 :class:`~repro.core.bips.BipsProcess` with replacement sampling (the
-paper's setting); the test suite checks distributional agreement
-against the sequential engines.  Completed replicas are frozen (their
-rows stop being simulated) so the loop cost tracks the unfinished
-population.
+paper's setting), for any real branching factor ``>= 1`` including the
+fractional ``k = 1 + ρ`` regime of Theorem 3; the test suite checks
+distributional agreement against the sequential engines.  Completed
+replicas are frozen (their rows stop being simulated) so the loop cost
+tracks the unfinished population.
+
+Both engines shard their replicas into about
+:data:`~repro.parallel.DEFAULT_SHARD_COUNT` fixed blocks seeded by
+``SeedSequence.spawn`` children indexed by shard position.  The shard
+decomposition depends only on ``n_replicas`` and ``shard_size`` —
+never on ``jobs`` — so the returned array is bit-identical whether the
+shards run inline (``jobs=1``) or across a process pool (``jobs>1``).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro._rng import SeedLike, ensure_generator
+from repro._rng import SeedLike, ensure_generator, spawn_seed_sequences
 from repro.core.process import (
     resolve_vertex,
-    resolve_vertex_set,
     validate_branching,
 )
 from repro.core.runner import default_max_rounds
 from repro.errors import CoverTimeoutError
 from repro.graphs.base import Graph
+from repro.parallel import map_shards, shard_bounds
 
 
 def _sample_columns(
@@ -36,32 +44,12 @@ def _sample_columns(
     return graph.sample_neighbors(vertices, k, rng)
 
 
-def batch_cobra_cover_times(
-    graph: Graph,
-    start: int,
-    *,
-    branching: float = 2.0,
-    n_replicas: int = 100,
-    seed: SeedLike = None,
-    max_rounds: int | None = None,
-    include_start_in_cover: bool = False,
-    raise_on_timeout: bool = True,
+def _cobra_shard(
+    context: tuple, start_index: int, stop_index: int, seed: SeedLike
 ) -> np.ndarray:
-    """Cover times of ``n_replicas`` independent COBRA runs.
-
-    Equivalent in distribution to ``n_replicas`` independent
-    :class:`~repro.core.cobra.CobraProcess` runs from ``start`` (with
-    replacement sampling), but evolved as one boolean matrix.
-
-    Returns an int64 array of length ``n_replicas``; timeouts raise
-    (default) or are reported as ``-1``.
-    """
-    mandatory, rho = validate_branching(branching)
-    start = resolve_vertex(graph, start, role="start")
-    if n_replicas < 1:
-        raise ValueError(f"n_replicas must be >= 1, got {n_replicas}")
-    if max_rounds is None:
-        max_rounds = default_max_rounds(graph)
+    """Cover times for one shard of replicas; ``-1`` marks a timeout."""
+    graph, start, mandatory, rho, max_rounds, include_start_in_cover = context
+    n_replicas = stop_index - start_index
     rng = ensure_generator(seed)
     n = graph.n_vertices
 
@@ -97,36 +85,15 @@ def batch_cobra_cover_times(
             cover_times[done] = round_index
             unfinished = unfinished[covered_counts[unfinished] < n]
 
-    if unfinished.size and raise_on_timeout:
-        raise CoverTimeoutError(
-            f"{unfinished.size}/{n_replicas} COBRA replicas on {graph.name} "
-            f"did not cover within {max_rounds} rounds"
-        )
     return cover_times
 
 
-def batch_bips_infection_times(
-    graph: Graph,
-    source: int,
-    *,
-    branching: float = 2.0,
-    n_replicas: int = 100,
-    seed: SeedLike = None,
-    max_rounds: int | None = None,
-    raise_on_timeout: bool = True,
+def _bips_shard(
+    context: tuple, start_index: int, stop_index: int, seed: SeedLike
 ) -> np.ndarray:
-    """Infection times of ``n_replicas`` independent BIPS runs.
-
-    All vertices of all unfinished replicas sample each round, so the
-    inner loop is a single ``(U·n, k)`` gather for `U` unfinished
-    replicas.
-    """
-    mandatory, rho = validate_branching(branching)
-    source = resolve_vertex(graph, source, role="source")
-    if n_replicas < 1:
-        raise ValueError(f"n_replicas must be >= 1, got {n_replicas}")
-    if max_rounds is None:
-        max_rounds = default_max_rounds(graph)
+    """Infection times for one shard of replicas; ``-1`` marks a timeout."""
+    graph, source, mandatory, rho, max_rounds = context
+    n_replicas = stop_index - start_index
     rng = ensure_generator(seed)
     n = graph.n_vertices
 
@@ -159,9 +126,98 @@ def batch_bips_infection_times(
             infection_times[done] = round_index
             unfinished = unfinished[~done_mask]
 
-    if unfinished.size and raise_on_timeout:
+    return infection_times
+
+
+def _run_sharded(
+    kernel,
+    context: tuple,
+    n_replicas: int,
+    seed: SeedLike,
+    shard_size: int | None,
+    jobs: int | None,
+) -> np.ndarray:
+    """Shard ``n_replicas`` rows, seed each shard, run, and concatenate."""
+    bounds = shard_bounds(n_replicas, shard_size)
+    seeds = spawn_seed_sequences(seed, len(bounds))
+    tasks = [(start, stop, shard_seed) for (start, stop), shard_seed in zip(bounds, seeds)]
+    return np.concatenate(map_shards(kernel, context, tasks, jobs=jobs))
+
+
+def batch_cobra_cover_times(
+    graph: Graph,
+    start: int,
+    *,
+    branching: float = 2.0,
+    n_replicas: int = 100,
+    seed: SeedLike = None,
+    max_rounds: int | None = None,
+    include_start_in_cover: bool = False,
+    raise_on_timeout: bool = True,
+    jobs: int | None = None,
+    shard_size: int | None = None,
+) -> np.ndarray:
+    """Cover times of ``n_replicas`` independent COBRA runs.
+
+    Equivalent in distribution to ``n_replicas`` independent
+    :class:`~repro.core.cobra.CobraProcess` runs from ``start`` (with
+    replacement sampling), but evolved as boolean matrices, one shard
+    of ``shard_size`` replicas at a time.  ``jobs`` distributes the
+    shards over a process pool (``None`` = the process-wide default,
+    ``0`` = one worker per CPU); for a fixed ``seed`` and
+    ``shard_size`` the result is bit-identical for every ``jobs``.
+
+    Returns an int64 array of length ``n_replicas``; timeouts raise
+    (default) or are reported as ``-1``.
+    """
+    mandatory, rho = validate_branching(branching)
+    start = resolve_vertex(graph, start, role="start")
+    if n_replicas < 1:
+        raise ValueError(f"n_replicas must be >= 1, got {n_replicas}")
+    if max_rounds is None:
+        max_rounds = default_max_rounds(graph)
+    context = (graph, start, mandatory, rho, max_rounds, include_start_in_cover)
+    times = _run_sharded(_cobra_shard, context, n_replicas, seed, shard_size, jobs)
+    timed_out = int((times < 0).sum())
+    if timed_out and raise_on_timeout:
         raise CoverTimeoutError(
-            f"{unfinished.size}/{n_replicas} BIPS replicas on {graph.name} "
+            f"{timed_out}/{n_replicas} COBRA replicas on {graph.name} "
+            f"did not cover within {max_rounds} rounds"
+        )
+    return times
+
+
+def batch_bips_infection_times(
+    graph: Graph,
+    source: int,
+    *,
+    branching: float = 2.0,
+    n_replicas: int = 100,
+    seed: SeedLike = None,
+    max_rounds: int | None = None,
+    raise_on_timeout: bool = True,
+    jobs: int | None = None,
+    shard_size: int | None = None,
+) -> np.ndarray:
+    """Infection times of ``n_replicas`` independent BIPS runs.
+
+    All vertices of all unfinished replicas sample each round, so the
+    inner loop is a single ``(U·n, k)`` gather for `U` unfinished
+    replicas per shard.  Sharding and ``jobs`` follow the same
+    seed-stable contract as :func:`batch_cobra_cover_times`.
+    """
+    mandatory, rho = validate_branching(branching)
+    source = resolve_vertex(graph, source, role="source")
+    if n_replicas < 1:
+        raise ValueError(f"n_replicas must be >= 1, got {n_replicas}")
+    if max_rounds is None:
+        max_rounds = default_max_rounds(graph)
+    context = (graph, source, mandatory, rho, max_rounds)
+    times = _run_sharded(_bips_shard, context, n_replicas, seed, shard_size, jobs)
+    timed_out = int((times < 0).sum())
+    if timed_out and raise_on_timeout:
+        raise CoverTimeoutError(
+            f"{timed_out}/{n_replicas} BIPS replicas on {graph.name} "
             f"did not infect within {max_rounds} rounds"
         )
-    return infection_times
+    return times

@@ -14,10 +14,11 @@ from typing import Callable
 
 import numpy as np
 
-from repro._rng import SeedLike, spawn_generators
+from repro._rng import SeedLike, spawn_seed_sequences
 from repro.core.process import SpreadingProcess, Trace
 from repro.errors import CoverTimeoutError
 from repro.graphs.base import Graph
+from repro.parallel import map_shards, resolve_jobs, shard_bounds
 
 
 def default_max_rounds(graph: Graph) -> int:
@@ -117,6 +118,27 @@ def run_process(
     )
 
 
+def _completion_shard(
+    context: tuple, start_index: int, stop_index: int, seed_sequences: list
+) -> np.ndarray:
+    """Completion times for one shard of replicas; ``-1`` on timeout.
+
+    ``raise_on_timeout`` is applied per replica by :func:`run_process`,
+    so a miscalibrated round cap fails fast with full process/graph
+    diagnostics instead of burning through the whole ensemble first
+    (extinction records ``-1`` and never raises).
+    """
+    factory, max_rounds, raise_on_timeout = context
+    times = np.empty(stop_index - start_index, dtype=np.int64)
+    for offset, seed_sequence in enumerate(seed_sequences):
+        process = factory(np.random.default_rng(seed_sequence))
+        result = run_process(
+            process, max_rounds=max_rounds, raise_on_timeout=raise_on_timeout
+        )
+        times[offset] = result.completion_time if result.completed else -1
+    return times
+
+
 def sample_completion_times(
     factory: Callable[[np.random.Generator], SpreadingProcess],
     n_samples: int,
@@ -124,6 +146,7 @@ def sample_completion_times(
     seed: SeedLike = None,
     max_rounds: int | None = None,
     raise_on_timeout: bool = True,
+    jobs: int | None = None,
 ) -> np.ndarray:
     """Completion times of ``n_samples`` independently seeded replicas.
 
@@ -135,12 +158,18 @@ def sample_completion_times(
     n_samples:
         Ensemble size.
     seed:
-        Master seed; replicas use independent spawned streams.
+        Master seed; replica ``i`` uses the ``i``-th spawned child
+        stream, independent of how replicas are sharded over workers,
+        so results are bit-identical for every ``jobs``.
     max_rounds:
         Per-replica round cap.
     raise_on_timeout:
         Raise if any replica fails to complete (default), else record
         ``-1`` for that replica.
+    jobs:
+        Worker processes (``None`` = the process-wide default, ``0`` =
+        one per CPU, ``1`` = inline).  The pool prefers the ``fork``
+        start method so closure factories need not be picklable.
 
     Returns
     -------
@@ -150,11 +179,15 @@ def sample_completion_times(
     """
     if n_samples < 1:
         raise ValueError(f"n_samples must be >= 1, got {n_samples}")
-    times = np.empty(n_samples, dtype=np.int64)
-    for i, rng in enumerate(spawn_generators(seed, n_samples)):
-        process = factory(rng)
-        result = run_process(
-            process, max_rounds=max_rounds, raise_on_timeout=raise_on_timeout
-        )
-        times[i] = result.completion_time if result.completed else -1
-    return times
+    n_workers = resolve_jobs(jobs)
+    children = spawn_seed_sequences(seed, n_samples)
+    if n_workers <= 1:
+        bounds = [(0, n_samples)]
+    else:
+        # Small shards (about four per worker) balance load; per-replica
+        # seeding makes the shard layout irrelevant to the results.
+        shard_size = max(1, -(-n_samples // (4 * n_workers)))
+        bounds = shard_bounds(n_samples, shard_size)
+    tasks = [(start, stop, children[start:stop]) for start, stop in bounds]
+    context = (factory, max_rounds, raise_on_timeout)
+    return np.concatenate(map_shards(_completion_shard, context, tasks, jobs=n_workers))

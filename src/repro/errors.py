@@ -55,3 +55,10 @@ class ExactEngineError(ReproError):
 
 class ExperimentError(ReproError):
     """Raised for unknown experiment ids or malformed experiment results."""
+
+
+class ParallelError(ReproError):
+    """Raised on invalid parallel-execution configuration.
+
+    Examples: a negative ``jobs`` count, or a shard size below 1.
+    """

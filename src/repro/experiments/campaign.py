@@ -28,6 +28,7 @@ from typing import Any, Callable
 
 from repro.errors import ExperimentError
 from repro.experiments import get_spec, run_experiment
+from repro.parallel import map_shards, resolve_jobs, set_default_jobs
 
 
 @dataclass(frozen=True)
@@ -95,11 +96,44 @@ class Campaign:
         )
 
 
+def _execute_entry(entry: CampaignEntry, directory: Path) -> dict[str, Any]:
+    """Run one entry, save its result files, return its manifest record."""
+    started = time.perf_counter()
+    result = run_experiment(entry.experiment_id, mode=entry.mode, seed=entry.seed)
+    elapsed = time.perf_counter() - started
+    stem = f"{entry.experiment_id.lower()}_{entry.mode}_s{entry.seed}"
+    result.save(directory / f"{stem}.json")
+    (directory / f"{stem}.txt").write_text(result.render() + "\n")
+    return {
+        **entry.to_dict(),
+        "result_json": f"{stem}.json",
+        "result_text": f"{stem}.txt",
+        "seconds": round(elapsed, 2),
+        "findings": result.findings,
+    }
+
+
+def _isolated_entry(directory: str, entry_data: dict[str, Any]) -> dict[str, Any]:
+    """Worker-side kernel: one campaign entry in its own process.
+
+    Workers are daemonic, so nested ensemble pools are disabled for the
+    entry's lifetime — entry-level and replica-level parallelism never
+    stack.  The previous default is restored in case this kernel ran
+    inline (single-worker fallback) rather than in a pool worker.
+    """
+    previous = set_default_jobs(1)
+    try:
+        return _execute_entry(CampaignEntry.from_dict(entry_data), Path(directory))
+    finally:
+        set_default_jobs(previous)
+
+
 def run_campaign(
     campaign: Campaign,
     output_dir: str | Path,
     *,
     progress: Callable[[str], None] | None = None,
+    jobs: int | None = None,
 ) -> dict[str, Any]:
     """Execute a campaign, saving each result and a manifest.
 
@@ -107,6 +141,12 @@ def run_campaign(
     ``<eid>_<mode>_s<seed>.json`` (plus ``.txt`` renders); the manifest
     ``manifest.json`` records entries, file names, wall-clock
     durations, and headline findings.  Returns the manifest dict.
+
+    ``jobs > 1`` executes independent entries concurrently, each in a
+    fresh worker process (per-entry isolation), with the manifest kept
+    in campaign order and byte-identical in structure to a sequential
+    run (entry seeding is per-entry, so results match ``jobs=1``
+    exactly; only the ``seconds`` timings differ).
     """
     campaign.validate()
     directory = Path(output_dir) / campaign.name
@@ -115,23 +155,29 @@ def run_campaign(
         "campaign": campaign.name,
         "entries": [],
     }
-    for entry in campaign.entries:
-        if progress is not None:
-            progress(f"running {entry.experiment_id} ({entry.mode}, seed {entry.seed})")
-        started = time.perf_counter()
-        result = run_experiment(entry.experiment_id, mode=entry.mode, seed=entry.seed)
-        elapsed = time.perf_counter() - started
-        stem = f"{entry.experiment_id.lower()}_{entry.mode}_s{entry.seed}"
-        result.save(directory / f"{stem}.json")
-        (directory / f"{stem}.txt").write_text(result.render() + "\n")
-        manifest["entries"].append(
-            {
-                **entry.to_dict(),
-                "result_json": f"{stem}.json",
-                "result_text": f"{stem}.txt",
-                "seconds": round(elapsed, 2),
-                "findings": result.findings,
-            }
+    n_workers = resolve_jobs(jobs)
+    if n_workers <= 1 or len(campaign.entries) <= 1:
+        for entry in campaign.entries:
+            if progress is not None:
+                progress(f"running {entry.experiment_id} ({entry.mode}, seed {entry.seed})")
+            manifest["entries"].append(_execute_entry(entry, directory))
+    else:
+        tasks = [(entry.to_dict(),) for entry in campaign.entries]
+
+        def report(index: int, record: dict[str, Any]) -> None:
+            if progress is not None:
+                progress(
+                    f"finished {record['experiment_id']} ({record['mode']}, "
+                    f"seed {record['seed']}) in {record['seconds']}s"
+                )
+
+        manifest["entries"] = map_shards(
+            _isolated_entry,
+            str(directory),
+            tasks,
+            jobs=n_workers,
+            isolate=True,
+            on_result=report,
         )
     (directory / "manifest.json").write_text(json.dumps(manifest, indent=2))
     return manifest

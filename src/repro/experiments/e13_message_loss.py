@@ -18,8 +18,6 @@ questions the paper's machinery answers:
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro._rng import spawn_generators
 from repro.analysis.stats import proportion_ci, summarize
 from repro.analysis.tables import Table

@@ -16,8 +16,6 @@ Two tiers of verification:
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.analysis.tables import Table
 from repro.exact.duality import duality_gap, duality_monte_carlo
 from repro.experiments.results import ExperimentResult

@@ -19,8 +19,6 @@ makes visible.)
 
 from __future__ import annotations
 
-import math
-
 from repro.analysis.ascii_plot import ascii_plot
 from repro.analysis.fitting import fit_power_law
 from repro.analysis.tables import Table

@@ -15,12 +15,14 @@ import numpy as np
 
 from repro._rng import SeedLike, derive_seed_sequence
 from repro.analysis.stats import SummaryStats, summarize
+from repro.core.batch import batch_bips_infection_times, batch_cobra_cover_times
 from repro.core.bips import BipsProcess
 from repro.core.cobra import CobraProcess
 from repro.core.push import PushProcess
 from repro.core.pushpull import PushPullProcess
 from repro.core.randomwalk import RandomWalkProcess
 from repro.core.runner import sample_completion_times
+from repro.errors import ExperimentError
 from repro.graphs.base import Graph
 from repro.graphs.generators import random_regular
 from repro.graphs.spectral import lambda_second
@@ -39,11 +41,29 @@ class EnsembleMeasurement:
         return self.stats.mean
 
 
-def _measure(factory, n_samples: int, seed: SeedLike, max_rounds: int | None) -> EnsembleMeasurement:
+def _measure(
+    factory,
+    n_samples: int,
+    seed: SeedLike,
+    max_rounds: int | None,
+    jobs: int | None = None,
+) -> EnsembleMeasurement:
     times = sample_completion_times(
-        factory, n_samples, seed=seed, max_rounds=max_rounds, raise_on_timeout=True
+        factory,
+        n_samples,
+        seed=seed,
+        max_rounds=max_rounds,
+        raise_on_timeout=True,
+        jobs=jobs,
     )
     return EnsembleMeasurement(times=times, stats=summarize(times))
+
+
+def _validate_engine(engine: str) -> None:
+    if engine not in ("process", "batch"):
+        raise ExperimentError(
+            f"engine must be 'process' or 'batch', got {engine!r}"
+        )
 
 
 def measure_cobra_cover(
@@ -54,13 +74,37 @@ def measure_cobra_cover(
     n_samples: int = 10,
     seed: SeedLike = None,
     max_rounds: int | None = None,
+    jobs: int | None = None,
+    engine: str = "process",
 ) -> EnsembleMeasurement:
-    """Ensemble of COBRA cover times on ``graph``."""
+    """Ensemble of COBRA cover times on ``graph``.
+
+    ``engine="process"`` steps independent
+    :class:`~repro.core.cobra.CobraProcess` replicas; ``"batch"`` uses
+    the vectorised :func:`~repro.core.batch.batch_cobra_cover_times`
+    fast path — identical in distribution (any real branching factor,
+    including the fractional ``1 + ρ`` of Theorem 3) and much faster
+    for large ensembles.  ``jobs`` shards the replicas over worker
+    processes with seed-stable results either way.
+    """
+    _validate_engine(engine)
+    if engine == "batch":
+        times = batch_cobra_cover_times(
+            graph,
+            start,
+            branching=branching,
+            n_replicas=n_samples,
+            seed=seed,
+            max_rounds=max_rounds,
+            jobs=jobs,
+        )
+        return EnsembleMeasurement(times=times, stats=summarize(times))
     return _measure(
         lambda rng: CobraProcess(graph, start, branching=branching, seed=rng),
         n_samples,
         seed,
         max_rounds,
+        jobs,
     )
 
 
@@ -72,13 +116,32 @@ def measure_bips_infection(
     n_samples: int = 10,
     seed: SeedLike = None,
     max_rounds: int | None = None,
+    jobs: int | None = None,
+    engine: str = "process",
 ) -> EnsembleMeasurement:
-    """Ensemble of BIPS infection times on ``graph``."""
+    """Ensemble of BIPS infection times on ``graph``.
+
+    Supports the same ``engine`` / ``jobs`` options as
+    :func:`measure_cobra_cover`.
+    """
+    _validate_engine(engine)
+    if engine == "batch":
+        times = batch_bips_infection_times(
+            graph,
+            source,
+            branching=branching,
+            n_replicas=n_samples,
+            seed=seed,
+            max_rounds=max_rounds,
+            jobs=jobs,
+        )
+        return EnsembleMeasurement(times=times, stats=summarize(times))
     return _measure(
         lambda rng: BipsProcess(graph, source, branching=branching, seed=rng),
         n_samples,
         seed,
         max_rounds,
+        jobs,
     )
 
 
@@ -89,10 +152,11 @@ def measure_push_broadcast(
     n_samples: int = 10,
     seed: SeedLike = None,
     max_rounds: int | None = None,
+    jobs: int | None = None,
 ) -> EnsembleMeasurement:
     """Ensemble of push-protocol broadcast times on ``graph``."""
     return _measure(
-        lambda rng: PushProcess(graph, start, seed=rng), n_samples, seed, max_rounds
+        lambda rng: PushProcess(graph, start, seed=rng), n_samples, seed, max_rounds, jobs
     )
 
 
@@ -103,10 +167,11 @@ def measure_pushpull_broadcast(
     n_samples: int = 10,
     seed: SeedLike = None,
     max_rounds: int | None = None,
+    jobs: int | None = None,
 ) -> EnsembleMeasurement:
     """Ensemble of push–pull broadcast times on ``graph``."""
     return _measure(
-        lambda rng: PushPullProcess(graph, start, seed=rng), n_samples, seed, max_rounds
+        lambda rng: PushPullProcess(graph, start, seed=rng), n_samples, seed, max_rounds, jobs
     )
 
 
@@ -118,6 +183,7 @@ def measure_random_walk_cover(
     n_samples: int = 10,
     seed: SeedLike = None,
     max_rounds: int | None = None,
+    jobs: int | None = None,
 ) -> EnsembleMeasurement:
     """Ensemble of random-walk cover times on ``graph``."""
     return _measure(
@@ -125,6 +191,7 @@ def measure_random_walk_cover(
         n_samples,
         seed,
         max_rounds,
+        jobs,
     )
 
 

@@ -1,0 +1,218 @@
+"""Parallel execution layer: seed-stable sharding over process pools.
+
+The Monte-Carlo workloads in this repository — the batch ensemble
+engines, sequential replica sampling, experiment campaigns — are
+embarrassingly parallel, but naive parallelisation breaks the
+reproducibility contract the rest of the library keeps: results must
+not depend on how many workers happened to run.  This module fixes the
+rules every parallel entry point follows.
+
+* **Seed-stable sharding.**  Work is decomposed into *shards* whose
+  boundaries and seeds depend only on the workload (replica count,
+  shard size, master seed) — never on the worker count.  Shard seeds
+  are ``SeedSequence.spawn`` children indexed by shard position (and,
+  for sequential replica sampling, by replica id), so ``jobs=1`` and
+  ``jobs=8`` produce bit-identical results.
+* **One ``jobs`` convention.**  ``None`` means the process-wide
+  default (1 unless the CLI's ``--jobs`` raised it), ``0`` means one
+  worker per CPU, ``n >= 1`` means exactly ``n`` workers.
+* **Cheap context shipping.**  Shared read-only context (the graph,
+  process parameters) travels once per worker through the pool
+  initializer, not once per task.
+
+Pools prefer the ``fork`` start method where available, so graphs and
+closures are inherited by workers instead of pickled per task; on
+platforms without ``fork`` the kernel and its context must be
+picklable.  Inside a pool worker (a daemonic process) the machinery
+degrades to inline execution automatically — nested pools are never
+created.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+from typing import Any, Callable, Sequence
+
+from repro.errors import ParallelError
+
+#: Default number of shards a workload is split into.  The
+#: decomposition of an ensemble into shards depends on this value and
+#: the replica count only — never on ``jobs`` — which is what keeps
+#: results identical across worker counts.  Sixteen shards keep the
+#: per-shard matrices large (vectorisation stays effective at
+#: ``jobs=1``) while leaving enough shards for typical worker counts
+#: to balance load.  Changing it changes the per-shard RNG streams
+#: (and therefore sampled values, not their distribution).
+DEFAULT_SHARD_COUNT = 16
+
+#: Floor on the default shard size: below this many rows per shard the
+#: batch engines pay per-call overhead instead of vectorising, so
+#: small ensembles get fewer, fatter shards (a 10-replica ensemble is
+#: one shard — parallelism has nothing to win there anyway).
+MIN_SHARD_SIZE = 32
+
+_default_jobs = 1
+
+#: Worker-process state installed by :func:`_initialize_worker`.
+_worker_kernel: Callable[..., Any] | None = None
+_worker_context: Any = None
+
+
+def default_jobs() -> int:
+    """The process-wide default worker count used when ``jobs=None``."""
+    return _default_jobs
+
+
+def set_default_jobs(jobs: int) -> int:
+    """Set the process-wide default worker count; returns the old value.
+
+    The CLI's global ``--jobs`` flag calls this once at startup so that
+    every ensemble measured by an experiment inherits the setting
+    without threading a parameter through thirteen ``run`` signatures.
+    """
+    global _default_jobs
+    previous = _default_jobs
+    _default_jobs = resolve_jobs(int(jobs))
+    return previous
+
+
+def resolve_jobs(jobs: int | None = None) -> int:
+    """Normalise a ``jobs`` argument to a concrete worker count.
+
+    ``None`` resolves to :func:`default_jobs`, ``0`` to ``os.cpu_count()``,
+    and any positive integer to itself.  Negative counts are rejected.
+    """
+    if jobs is None:
+        return _default_jobs
+    jobs = int(jobs)
+    if jobs < 0:
+        raise ParallelError(f"jobs must be >= 0 (0 = one per CPU), got {jobs}")
+    if jobs == 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def default_shard_size(n_items: int) -> int:
+    """The shard size yielding about :data:`DEFAULT_SHARD_COUNT` shards.
+
+    Floored at :data:`MIN_SHARD_SIZE` rows so tiny ensembles stay
+    vectorised.  Depends only on the workload size, never on the
+    worker count.
+    """
+    if n_items < 0:
+        raise ParallelError(f"n_items must be >= 0, got {n_items}")
+    return max(MIN_SHARD_SIZE, -(-n_items // DEFAULT_SHARD_COUNT))
+
+
+def shard_bounds(n_items: int, shard_size: int | None = None) -> list[tuple[int, int]]:
+    """Contiguous ``[start, stop)`` shard bounds covering ``n_items``.
+
+    The decomposition depends only on ``n_items`` and ``shard_size``
+    (default :func:`default_shard_size`); callers must never let the
+    worker count influence either, or jobs-invariance is lost.
+    """
+    if n_items < 0:
+        raise ParallelError(f"n_items must be >= 0, got {n_items}")
+    if shard_size is None:
+        shard_size = default_shard_size(n_items)
+    shard_size = int(shard_size)
+    if shard_size < 1:
+        raise ParallelError(f"shard_size must be >= 1, got {shard_size}")
+    return [
+        (start, min(start + shard_size, n_items))
+        for start in range(0, n_items, shard_size)
+    ]
+
+
+def _initialize_worker(kernel: Callable[..., Any], context: Any) -> None:
+    """Install the kernel and its shared context in a pool worker."""
+    global _worker_kernel, _worker_context
+    _worker_kernel = kernel
+    _worker_context = context
+
+
+def _run_task(task: Sequence[Any]) -> Any:
+    """Execute one task against the worker's installed kernel."""
+    assert _worker_kernel is not None, "worker pool was not initialised"
+    return _worker_kernel(_worker_context, *task)
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    """Prefer ``fork`` (inherits graphs/closures); fall back to default."""
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def map_shards(
+    kernel: Callable[..., Any],
+    context: Any,
+    tasks: Sequence[Sequence[Any]],
+    *,
+    jobs: int | None = None,
+    isolate: bool = False,
+    on_result: Callable[[int, Any], None] | None = None,
+) -> list[Any]:
+    """Apply ``kernel(context, *task)`` to every task, in task order.
+
+    Parameters
+    ----------
+    kernel:
+        A module-level function (it must be importable by workers).
+        Its first argument is the shared ``context``; the remaining
+        arguments are the task tuple.
+    context:
+        Read-only state shipped once per worker (e.g. the graph and
+        process parameters).
+    tasks:
+        Argument tuples, one per shard.  Results are returned in the
+        same order regardless of completion order.
+    jobs:
+        Worker count per the module convention (``None`` = default,
+        ``0`` = CPU count).  With one worker, a single task, or when
+        already inside a pool worker, tasks run inline in this process
+        — same code path, same results.
+    isolate:
+        Give every task a fresh worker process (``maxtasksperchild=1``);
+        used by campaigns for per-entry process isolation.
+    on_result:
+        Optional callback invoked as ``on_result(index, result)`` in
+        task order as results become available (progress reporting).
+    """
+    tasks = list(tasks)
+    if not tasks:
+        return []
+    n_workers = min(resolve_jobs(jobs), len(tasks))
+    inline = n_workers <= 1 or multiprocessing.current_process().daemon
+    pool_context = _pool_context()
+    if not inline and pool_context.get_start_method() != "fork":
+        # Without fork the initializer arguments travel by pickle;
+        # closure kernels/contexts (e.g. process factories) cannot, so
+        # degrade to inline execution rather than crash — same results,
+        # no parallelism.
+        try:
+            pickle.dumps((kernel, context))
+        except Exception:
+            inline = True
+    if inline:
+        results = []
+        for index, task in enumerate(tasks):
+            result = kernel(context, *task)
+            if on_result is not None:
+                on_result(index, result)
+            results.append(result)
+        return results
+    with pool_context.Pool(
+        processes=n_workers,
+        initializer=_initialize_worker,
+        initargs=(kernel, context),
+        maxtasksperchild=1 if isolate else None,
+    ) as pool:
+        results = []
+        for index, result in enumerate(pool.imap(_run_task, tasks, chunksize=1)):
+            if on_result is not None:
+                on_result(index, result)
+            results.append(result)
+    return results

@@ -8,7 +8,6 @@ from repro.analysis.trace_view import render_coverage_bars
 from repro.core.cobra import CobraProcess
 from repro.core.process import RoundRecord, Trace
 from repro.core.runner import run_process
-from repro.graphs import generators
 
 
 def toy_trace(rows):

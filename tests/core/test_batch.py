@@ -64,6 +64,22 @@ class TestBatchCobra:
         )
         assert times.mean() < slower.mean()
 
+    def test_fractional_distribution_matches_sequential(self, small_expander):
+        # Theorem 3 regime (k = 1 + rho): the batch fast path must agree
+        # in distribution with independent CobraProcess replicas.
+        batch = batch_cobra_cover_times(
+            small_expander, 0, branching=1.5, n_replicas=300, seed=13
+        )
+        sequential = sample_completion_times(
+            lambda rng: CobraProcess(small_expander, 0, branching=1.5, seed=rng),
+            300,
+            seed=14,
+        )
+        pooled_se = np.sqrt(
+            batch.var(ddof=1) / batch.size + sequential.var(ddof=1) / sequential.size
+        )
+        assert abs(batch.mean() - sequential.mean()) < 5 * pooled_se
+
     def test_timeout_behaviour(self, small_expander):
         with pytest.raises(CoverTimeoutError):
             batch_cobra_cover_times(small_expander, 0, n_replicas=5, seed=6, max_rounds=1)

@@ -8,7 +8,6 @@ import pytest
 from repro.core.cobra import CobraProcess
 from repro.errors import ProcessError
 from repro.graphs import generators
-from repro.graphs.build import from_edges
 
 
 class TestInitialState:

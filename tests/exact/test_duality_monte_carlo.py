@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.exact.duality import duality_monte_carlo, duality_series
 from repro.graphs import generators
 

@@ -84,3 +84,38 @@ class TestRunCampaign:
         run_campaign(campaign, tmp_path)
         result = ExperimentResult.load(tmp_path / "load" / "e4_quick_s0.json")
         assert result.spec.experiment_id == "E4"
+
+    def test_parallel_matches_sequential(self, tmp_path, monkeypatch):
+        # Same campaign at jobs=1 and jobs=2: identical manifests
+        # (modulo wall-clock timings) and identical result payloads.
+        monkeypatch.setattr(e4_duality, "QUICK_TRIALS", 50)
+        monkeypatch.setattr(e4_duality, "EXACT_T_MAX", 3)
+        campaign = Campaign(
+            name="par",
+            entries=[CampaignEntry("E4", seed=0), CampaignEntry("E4", seed=1)],
+        )
+        sequential = run_campaign(campaign, tmp_path / "seq", jobs=1)
+        messages: list[str] = []
+        parallel = run_campaign(
+            campaign, tmp_path / "par", jobs=2, progress=messages.append
+        )
+
+        def strip_timings(manifest):
+            return [
+                {key: value for key, value in entry.items() if key != "seconds"}
+                for entry in manifest["entries"]
+            ]
+
+        assert strip_timings(sequential) == strip_timings(parallel)
+        assert len(messages) == 2
+        for stem in ("e4_quick_s0", "e4_quick_s1"):
+            left = json.loads((tmp_path / "seq" / "par" / f"{stem}.json").read_text())
+            right = json.loads((tmp_path / "par" / "par" / f"{stem}.json").read_text())
+            assert left == right
+
+    def test_jobs_parameter_validated(self, tmp_path):
+        from repro.errors import ParallelError
+
+        campaign = Campaign(name="bad", entries=[CampaignEntry("E5")])
+        with pytest.raises(ParallelError, match="jobs"):
+            run_campaign(campaign, tmp_path, jobs=-2)

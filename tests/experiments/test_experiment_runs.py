@@ -1,14 +1,14 @@
 """End-to-end runs of every experiment at micro scale.
 
-Each experiment's module-level parameter constants are monkeypatched
-down to toy sizes so the full code path (graph building, measurement,
-fitting, table/figure assembly) executes in seconds.  The real quick
-and full parameter sets are exercised by the benchmark harness.
+Each experiment's module-level parameter constants are patched down to
+the shared toy sizes in :mod:`repro.experiments.microscale` (also used
+by the CI benchmark smoke) so the full code path (graph building,
+measurement, fitting, table/figure assembly) executes in seconds.  The
+real quick and full parameter sets are exercised by the benchmark
+harness.
 """
 
 from __future__ import annotations
-
-import pytest
 
 from repro.experiments import (
     e1_cover_expanders,
@@ -25,7 +25,7 @@ from repro.experiments import (
     e12_dynamic_graphs,
     e13_message_loss,
 )
-from repro.graphs import generators
+from repro.experiments.microscale import apply_micro_overrides
 
 
 def assert_wellformed(result, experiment_id: str) -> None:
@@ -41,32 +41,26 @@ def assert_wellformed(result, experiment_id: str) -> None:
 
 class TestMicroRuns:
     def test_e1(self, monkeypatch):
-        monkeypatch.setattr(e1_cover_expanders, "QUICK_SIZES", (64, 128))
-        monkeypatch.setattr(e1_cover_expanders, "QUICK_DEGREES", (3, 8))
-        monkeypatch.setattr(e1_cover_expanders, "QUICK_SAMPLES", 3)
+        apply_micro_overrides("E1", monkeypatch.setattr)
         result = e1_cover_expanders.run(seed=1)
         assert_wellformed(result, "E1")
         assert result.tables["cover times"].n_rows == 4
         assert "cover vs n" in result.figures
 
     def test_e2(self, monkeypatch):
-        monkeypatch.setattr(e2_bips_infection, "QUICK_SIZES", (64, 128))
-        monkeypatch.setattr(e2_bips_infection, "QUICK_SAMPLES", 3)
+        apply_micro_overrides("E2", monkeypatch.setattr)
         result = e2_bips_infection.run(seed=1)
         assert_wellformed(result, "E2")
         ratios = result.tables["BIPS vs COBRA"].column("infec/cov")
         assert all(0.1 < ratio < 10 for ratio in ratios)
 
     def test_e3(self, monkeypatch):
-        monkeypatch.setattr(e3_fractional_branching, "QUICK_SIZES", (64, 128))
-        monkeypatch.setattr(e3_fractional_branching, "QUICK_RHOS", (0.5, 1.0))
-        monkeypatch.setattr(e3_fractional_branching, "QUICK_SAMPLES", 3)
+        apply_micro_overrides("E3", monkeypatch.setattr)
         result = e3_fractional_branching.run(seed=1)
         assert_wellformed(result, "E3")
 
     def test_e4(self, monkeypatch):
-        monkeypatch.setattr(e4_duality, "QUICK_TRIALS", 200)
-        monkeypatch.setattr(e4_duality, "EXACT_T_MAX", 4)
+        apply_micro_overrides("E4", monkeypatch.setattr)
         result = e4_duality.run(seed=1)
         assert_wellformed(result, "E4")
         gaps = result.tables["exact verification"].column("max |LHS - RHS|")
@@ -80,50 +74,31 @@ class TestMicroRuns:
         assert min(ratios) >= 1.0 - 1e-9
 
     def test_e6(self, monkeypatch):
-        monkeypatch.setattr(e6_phases, "QUICK_SIZES", (128, 256))
-        monkeypatch.setattr(e6_phases, "QUICK_TRAJECTORIES", 3)
+        apply_micro_overrides("E6", monkeypatch.setattr)
         result = e6_phases.run(seed=1)
         assert_wellformed(result, "E6")
 
     def test_e7(self, monkeypatch):
-        monkeypatch.setattr(
-            e7_baselines,
-            "QUICK",
-            {
-                "complete_sizes": (32, 64, 128),
-                "torus2d_sides": (5, 9, 13),
-                "torus3d_sides": (3, 5),
-                "walk_sizes": (32, 64),
-                "samples": 3,
-            },
-        )
+        apply_micro_overrides("E7", monkeypatch.setattr)
         result = e7_baselines.run(seed=1)
         assert_wellformed(result, "E7")
         speedups = result.tables["random walk vs COBRA"].column("speedup")
         assert all(s > 1 for s in speedups)
 
     def test_e8(self, monkeypatch):
-        monkeypatch.setattr(e8_spectral_sweep, "CIRCULANT_N", 65)
-        monkeypatch.setattr(e8_spectral_sweep, "QUICK_CHORDS", (1, 4))
-        monkeypatch.setattr(e8_spectral_sweep, "REGULAR_N", 64)
-        monkeypatch.setattr(e8_spectral_sweep, "QUICK_DEGREES", (3, 8))
-        monkeypatch.setattr(e8_spectral_sweep, "QUICK_SAMPLES", 3)
+        apply_micro_overrides("E8", monkeypatch.setattr)
         result = e8_spectral_sweep.run(seed=1)
         assert_wellformed(result, "E8")
 
     def test_e9(self, monkeypatch):
-        monkeypatch.setattr(e9_branching_sweep, "GRAPH_N", 128)
-        monkeypatch.setattr(e9_branching_sweep, "QUICK_BRANCHINGS", (1.0, 2.0))
-        monkeypatch.setattr(e9_branching_sweep, "QUICK_SAMPLES", 3)
+        apply_micro_overrides("E9", monkeypatch.setattr)
         result = e9_branching_sweep.run(seed=1)
         assert_wellformed(result, "E9")
         # 2 COBRA rows + push + pull + push-pull.
         assert result.tables["protocol comparison"].n_rows == 5
 
     def test_e10(self, monkeypatch):
-        monkeypatch.setattr(e10_persistence_ablation, "GRAPH_N", 64)
-        monkeypatch.setattr(e10_persistence_ablation, "QUICK_SIS_TRIALS", 40)
-        monkeypatch.setattr(e10_persistence_ablation, "QUICK_BIPS_TRIALS", 10)
+        apply_micro_overrides("E10", monkeypatch.setattr)
         result = e10_persistence_ablation.run(seed=1)
         assert_wellformed(result, "E10")
         outcomes = result.tables["outcomes"]
@@ -131,27 +106,21 @@ class TestMicroRuns:
         assert bips_row[3] == 0  # BIPS never extinct
 
     def test_e11(self, monkeypatch):
-        monkeypatch.setattr(e11_whp_tails, "TAIL_GRAPH_N", 256)
-        monkeypatch.setattr(e11_whp_tails, "QUICK_TAIL_SAMPLES", 400)
-        monkeypatch.setattr(e11_whp_tails, "QUICK_LADDER", (128, 256))
-        monkeypatch.setattr(e11_whp_tails, "QUICK_LADDER_SAMPLES", 60)
+        apply_micro_overrides("E11", monkeypatch.setattr)
         result = e11_whp_tails.run(seed=1)
         assert_wellformed(result, "E11")
         rates = result.tables["geometric tail fits"].column("tail rate / round")
         assert all(0.0 < rate < 1.0 for rate in rates)
 
     def test_e12(self, monkeypatch):
-        monkeypatch.setattr(e12_dynamic_graphs, "QUICK_SIZES", (64, 128))
-        monkeypatch.setattr(e12_dynamic_graphs, "QUICK_SAMPLES", 3)
+        apply_micro_overrides("E12", monkeypatch.setattr)
         result = e12_dynamic_graphs.run(seed=1)
         assert_wellformed(result, "E12")
         # 3 regimes x 2 sizes rows.
         assert result.tables["cover/infection times"].n_rows == 6
 
     def test_e13(self, monkeypatch):
-        monkeypatch.setattr(e13_message_loss, "GRAPH_N", 128)
-        monkeypatch.setattr(e13_message_loss, "QUICK_SAMPLES", 30)
-        monkeypatch.setattr(e13_message_loss, "EXACT_T_MAX", 4)
+        apply_micro_overrides("E13", monkeypatch.setattr)
         result = e13_message_loss.run(seed=1)
         assert_wellformed(result, "E13")
         gaps = result.tables["exact lossy duality"].column("max |LHS - RHS|")

@@ -32,6 +32,22 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "E1", "--mode", "huge"])
 
+    def test_jobs_defaults_to_one(self):
+        args = build_parser().parse_args(["run", "E1"])
+        assert args.jobs == 1
+
+    def test_jobs_global_flag(self):
+        args = build_parser().parse_args(["--jobs", "4", "run", "E1"])
+        assert args.jobs == 4
+
+    def test_jobs_subcommand_flag(self):
+        args = build_parser().parse_args(["run", "E1", "--jobs", "3"])
+        assert args.jobs == 3
+
+    def test_jobs_subcommand_wins_over_global(self):
+        args = build_parser().parse_args(["--jobs", "2", "campaign", "c.json", "--jobs", "5"])
+        assert args.jobs == 5
+
 
 class TestCommands:
     def test_list_prints_all_experiments(self, capsys):
@@ -118,3 +134,21 @@ class TestCommands:
         bad.write_text("{broken")
         assert main(["campaign", str(bad)]) == 1
         assert "malformed" in capsys.readouterr().err
+
+    def test_run_with_jobs(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setattr(e4_duality, "QUICK_TRIALS", 50)
+        monkeypatch.setattr(e4_duality, "EXACT_T_MAX", 3)
+        assert main(["run", "E4", "--jobs", "2", "--out", str(tmp_path)]) == 0
+        assert "[E4]" in capsys.readouterr().out
+        assert (tmp_path / "e4_quick.json").exists()
+
+    def test_negative_jobs_rejected(self, capsys):
+        assert main(["--jobs", "-1", "list"]) == 1
+        assert "jobs" in capsys.readouterr().err
+
+    def test_jobs_default_restored(self):
+        from repro.parallel import default_jobs
+
+        before = default_jobs()
+        assert main(["--jobs", "3", "list"]) == 0
+        assert default_jobs() == before

@@ -9,9 +9,8 @@ duality all describing the same processes.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
-from repro import BipsProcess, CobraProcess, graphs, run_process
+from repro import BipsProcess, CobraProcess, graphs
 from repro._rng import spawn_generators
 from repro.analysis.fitting import fit_log_linear
 from repro.analysis.stats import summarize

@@ -9,7 +9,6 @@ from hypothesis import strategies as st
 from repro.core.bips import BipsProcess
 from repro.core.cobra import CobraProcess
 from repro.exact.duality import duality_gap
-from repro.theory.growth import expected_next_infected_size
 
 from tests.properties.strategies import connected_small_graphs, seeds
 

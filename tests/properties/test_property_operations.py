@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import numpy as np
 from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.graphs.io import from_edge_list_text, to_edge_list_text
 from repro.graphs.operations import (

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import numpy as np
 from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.core.bips import BipsProcess
 from repro.core.cobra import CobraProcess

@@ -5,7 +5,6 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.graphs import generators
 from repro.graphs.spectral import lambda_second
 from repro.theory.growth import (
     expected_next_infected_size,
