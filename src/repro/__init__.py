@@ -24,7 +24,8 @@ Quickstart::
     print(result.completion_time)   # O(log n) rounds on an expander
 """
 
-from repro import analysis, core, exact, experiments, graphs, parallel, theory
+from repro import analysis, cache, core, exact, experiments, graphs, parallel, theory
+from repro.cache import ResultCache
 from repro.core import (
     BipsProcess,
     CobraProcess,
@@ -41,6 +42,7 @@ from repro.core import (
     sample_completion_times,
 )
 from repro.errors import (
+    CacheError,
     CoverTimeoutError,
     ExactEngineError,
     ExperimentError,
@@ -64,6 +66,9 @@ __all__ = [
     "analysis",
     "experiments",
     "parallel",
+    "cache",
+    # caching
+    "ResultCache",
     # core types
     "Graph",
     "SpreadingProcess",
@@ -88,4 +93,5 @@ __all__ = [
     "ExactEngineError",
     "ExperimentError",
     "ParallelError",
+    "CacheError",
 ]

@@ -9,10 +9,15 @@ Usage (installed as ``cobra-repro`` or via ``python -m repro``)::
     cobra-repro all --mode quick          # run everything in order
     cobra-repro run E1 --jobs 4           # shard ensembles over 4 workers
     cobra-repro campaign c.json --jobs 0  # one campaign entry per CPU
+    cobra-repro run E1 --cache-dir .repro-cache   # reuse cached results
+    cobra-repro campaign c.json --stream  # tail entries as they finish
+    cobra-repro cache stats               # inspect the result cache
 
 ``--jobs`` never changes results: replica seeding is sharded
 seed-stably (see :mod:`repro.parallel`), so any worker count produces
-the same numbers.
+the same numbers.  ``--cache-dir`` never changes results either: the
+cache key covers everything a run computes from (see
+:mod:`repro.cache`), so a hit is byte-identical to a recomputation.
 """
 
 from __future__ import annotations
@@ -24,7 +29,7 @@ from pathlib import Path
 from typing import Sequence
 
 from repro.errors import ReproError
-from repro.experiments import experiment_ids, get_spec, run_experiment
+from repro.experiments import experiment_ids, get_spec
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -104,20 +109,93 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument(
         "--out", type=Path, default=Path("results"), help="output directory root"
     )
+    campaign.add_argument(
+        "--stream",
+        action="store_true",
+        help="print one line per entry as it completes (completion order under --jobs)",
+    )
     _add_jobs_option(campaign)
+    _add_cache_options(campaign)
+
+    cache = subparsers.add_parser(
+        "cache", help="inspect or maintain the result cache"
+    )
+    cache.add_argument(
+        "action",
+        choices=("stats", "clear", "prune"),
+        help=(
+            "stats = entry count and size, clear = delete everything, "
+            "prune = delete corrupt or stale-schema entries"
+        ),
+    )
+    cache.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="cache directory (default .repro-cache)",
+    )
     return parser
 
 
-def _campaign(file: Path, out: Path, jobs: int) -> None:
-    from repro.experiments.campaign import Campaign, run_campaign
+def _campaign(
+    file: Path, out: Path, jobs: int, cache_dir: Path | None, stream: bool
+) -> None:
+    from repro.experiments.campaign import Campaign, iter_campaign, run_campaign
 
     description = Campaign.from_json(file.read_text())
-    manifest = run_campaign(description, out, progress=print, jobs=jobs)
-    total = sum(entry["seconds"] for entry in manifest["entries"])
-    print(
-        f"campaign {description.name!r}: {len(manifest['entries'])} runs "
-        f"in {total:.1f}s -> {out / description.name}"
+    if stream:
+        total = len(description.entries)
+        entries = []
+        for done, (index, record) in enumerate(
+            iter_campaign(description, out, jobs=jobs, cache_dir=cache_dir), start=1
+        ):
+            if "error" in record:
+                status = f"ERROR {record['error']}"
+            elif record["cached"]:
+                status = "cached"
+            else:
+                status = f"{record['seconds']}s"
+            print(
+                f"[{done}/{total}] {record['experiment_id']} "
+                f"({record['mode']}, seed {record['seed']}) {status}"
+            )
+            entries.append(record)
+        manifest = {"campaign": description.name, "entries": entries}
+    else:
+        manifest = run_campaign(
+            description, out, progress=print, jobs=jobs, cache_dir=cache_dir
+        )
+    total_seconds = sum(entry.get("seconds", 0.0) for entry in manifest["entries"])
+    cached = sum(1 for entry in manifest["entries"] if entry.get("cached"))
+    errors = sum(1 for entry in manifest["entries"] if "error" in entry)
+    summary = f"campaign {description.name!r}: {len(manifest['entries'])} runs"
+    if cached:
+        summary += f" ({cached} cached)"
+    if errors:
+        summary += f" ({errors} failed)"
+    print(f"{summary} in {total_seconds:.1f}s -> {out / description.name}")
+
+
+def _cache_command(action: str, cache_dir: Path | None) -> None:
+    from repro.cache import DEFAULT_CACHE_DIR, ResultCache
+
+    # Maintenance commands inspect an existing store; none of them
+    # should create the directory as a side effect.
+    cache = ResultCache(
+        cache_dir if cache_dir is not None else DEFAULT_CACHE_DIR, create=False
     )
+    if action == "stats":
+        summary = cache.stats_summary()
+        print(f"cache {summary['directory']}: schema v{summary['schema']}")
+        print(f"  entries: {summary['entries']}")
+        print(f"  bytes  : {summary['bytes']}")
+    elif action == "clear":
+        removed = cache.clear()
+        print(f"cache {cache.directory}: removed {removed} entries")
+    elif action == "prune":
+        removed = cache.prune()
+        print(f"cache {cache.directory}: pruned {removed} corrupt or stale entries")
 
 
 def _cover(n: int, r: int, branching: float, seed: int) -> None:
@@ -205,6 +283,21 @@ def _add_jobs_option(subparser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_cache_options(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="result-cache directory: reuse cached runs, store fresh ones",
+    )
+    subparser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the result cache even when --cache-dir is given",
+    )
+
+
 def _add_run_options(subparser: argparse.ArgumentParser) -> None:
     subparser.add_argument(
         "--mode",
@@ -221,14 +314,29 @@ def _add_run_options(subparser: argparse.ArgumentParser) -> None:
         help="directory to write JSON results into",
     )
     _add_jobs_option(subparser)
+    _add_cache_options(subparser)
 
 
-def _run_one(experiment_id: str, mode: str, seed: int, out: Path | None) -> None:
+def _effective_cache_dir(args: argparse.Namespace) -> Path | None:
+    """The cache directory a subcommand should use, honouring --no-cache."""
+    if getattr(args, "no_cache", False):
+        return None
+    return getattr(args, "cache_dir", None)
+
+
+def _run_one(
+    experiment_id: str, mode: str, seed: int, out: Path | None, cache_dir: Path | None
+) -> None:
+    from repro.experiments import run_experiment_cached
+
     started = time.perf_counter()
-    result = run_experiment(experiment_id, mode=mode, seed=seed)
+    result, cached = run_experiment_cached(
+        experiment_id, mode=mode, seed=seed, cache_dir=cache_dir
+    )
     elapsed = time.perf_counter() - started
     print(result.render())
-    print(f"\n[{result.spec.experiment_id}] finished in {elapsed:.1f}s")
+    source = " (cached)" if cached else ""
+    print(f"\n[{result.spec.experiment_id}] finished in {elapsed:.1f}s{source}")
     if out is not None:
         path = out / f"{result.spec.experiment_id.lower()}_{mode}.json"
         result.save(path)
@@ -254,10 +362,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         elif args.command == "info":
             print(get_spec(args.experiment).header())
         elif args.command == "run":
-            _run_one(args.experiment, args.mode, args.seed, args.out)
+            _run_one(args.experiment, args.mode, args.seed, args.out, _effective_cache_dir(args))
         elif args.command == "all":
             for experiment_id in experiment_ids():
-                _run_one(experiment_id, args.mode, args.seed, args.out)
+                _run_one(experiment_id, args.mode, args.seed, args.out, _effective_cache_dir(args))
                 print()
         elif args.command == "graph-info":
             _graph_info(args.family, args.params, args.seed)
@@ -266,7 +374,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         elif args.command == "duality":
             _duality(args.graph, args.branching, args.t_max)
         elif args.command == "campaign":
-            _campaign(args.file, args.out, jobs)
+            _campaign(args.file, args.out, jobs, _effective_cache_dir(args), args.stream)
+        elif args.command == "cache":
+            _cache_command(args.action, args.cache_dir)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1

@@ -62,3 +62,13 @@ class ParallelError(ReproError):
 
     Examples: a negative ``jobs`` count, or a shard size below 1.
     """
+
+
+class CacheError(ReproError):
+    """Raised on invalid result-cache configuration or unusable keys.
+
+    Examples: cache parameters that cannot be canonically serialised
+    (non-string dict keys, NaN floats, arbitrary objects), or a cache
+    directory path that exists but is not a directory.  Corrupt or
+    stale cache *entries* never raise — they are treated as misses.
+    """

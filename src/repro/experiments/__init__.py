@@ -9,9 +9,13 @@ the CLI (``python -m repro``).
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Any
 from types import ModuleType
 
 from repro.errors import ExperimentError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.cache import ResultCache
 from repro.experiments import (
     e1_cover_expanders,
     e2_bips_infection,
@@ -71,9 +75,123 @@ def get_spec(experiment_id: str) -> ExperimentSpec:
     return get_experiment(experiment_id).SPEC
 
 
-def run_experiment(experiment_id: str, *, mode: str = "quick", seed: int = 0) -> ExperimentResult:
-    """Run one experiment by id and return its result."""
-    return get_experiment(experiment_id).run(mode=mode, seed=seed)
+#: Sentinel distinguishing "not a cacheable constant" from a cacheable None.
+_NOT_A_PARAMETER = object()
+
+
+def _parameter_value(value: Any) -> Any:
+    """A module constant normalised for hashing, or the reject sentinel.
+
+    Only plain JSON-shaped data (scalars, strings, nested lists/tuples
+    and string-keyed dicts) counts as a workload parameter; functions,
+    classes, arrays, and other machinery are not part of a run's
+    identity.
+    """
+    if isinstance(value, float):
+        # Non-finite floats cannot appear in a canonical cache key
+        # (repro.cache rejects them), so they are not parameters.
+        if value != value or value in (float("inf"), float("-inf")):
+            return _NOT_A_PARAMETER
+        return value
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        items = [_parameter_value(item) for item in value]
+        if any(item is _NOT_A_PARAMETER for item in items):
+            return _NOT_A_PARAMETER
+        return items
+    if isinstance(value, dict):
+        normalised = {}
+        for key, item in value.items():
+            item = _parameter_value(item)
+            if not isinstance(key, str) or item is _NOT_A_PARAMETER:
+                return _NOT_A_PARAMETER
+            normalised[key] = item
+        return normalised
+    return _NOT_A_PARAMETER
+
+
+def resolved_parameters(experiment_id: str, mode: str) -> dict[str, Any]:
+    """The run-identity parameters of an experiment, computable *before* a run.
+
+    Covers the experiment's spec (version included) plus every
+    UPPER_CASE module-level workload constant with JSON-shaped data —
+    the values ``run`` reads to size its workload (and the values the
+    micro-scale test overrides patch).  Together with ``mode`` and
+    ``seed`` this determines what a run would compute, which is exactly
+    what the result cache must key on: patching ``QUICK_TRIALS`` (or
+    editing a constant in source) changes the key, so stale cache
+    entries can never shadow a differently-parameterised run.
+    """
+    module = get_experiment(experiment_id)
+    constants = {}
+    for name in sorted(vars(module)):
+        if not name.isupper() or name.startswith("_") or name == "SPEC":
+            continue
+        value = _parameter_value(getattr(module, name))
+        if value is not _NOT_A_PARAMETER:
+            constants[name] = value
+    return {"spec": module.SPEC.to_dict(), "mode": mode, "constants": constants}
+
+
+def _resolve_cache(
+    cache: "ResultCache | None", cache_dir: Any | None
+) -> "ResultCache | None":
+    """Normalise the ``cache=`` / ``cache_dir=`` pair to a cache or ``None``."""
+    if cache is not None:
+        return cache
+    if cache_dir is not None:
+        from repro.cache import ResultCache  # deferred: avoids an import cycle
+
+        return ResultCache(cache_dir)
+    return None
+
+
+def run_experiment_cached(
+    experiment_id: str,
+    *,
+    mode: str = "quick",
+    seed: int = 0,
+    cache: "ResultCache | None" = None,
+    cache_dir: Any | None = None,
+) -> tuple[ExperimentResult, bool]:
+    """Run one experiment, consulting a result cache when one is given.
+
+    Returns ``(result, cached)`` where ``cached`` is True when the
+    result came from the cache instead of being recomputed.  A fresh
+    computation is stored back, so the next identical call is a hit.
+    """
+    module = get_experiment(experiment_id)
+    store = _resolve_cache(cache, cache_dir)
+    if store is None:
+        return module.run(mode=mode, seed=seed), False
+    parameters = resolved_parameters(experiment_id, mode)
+    hit = store.get(module.SPEC.experiment_id, mode, seed, parameters)
+    if hit is not None:
+        return hit, True
+    result = module.run(mode=mode, seed=seed)
+    store.put(module.SPEC.experiment_id, mode, seed, parameters, result)
+    return result, False
+
+
+def run_experiment(
+    experiment_id: str,
+    *,
+    mode: str = "quick",
+    seed: int = 0,
+    cache: "ResultCache | None" = None,
+    cache_dir: Any | None = None,
+) -> ExperimentResult:
+    """Run one experiment by id and return its result.
+
+    ``cache=`` (a :class:`~repro.cache.ResultCache`) or ``cache_dir=``
+    (a path) enables result caching: a previously stored identical run
+    is loaded instead of recomputed.
+    """
+    result, _ = run_experiment_cached(
+        experiment_id, mode=mode, seed=seed, cache=cache, cache_dir=cache_dir
+    )
+    return result
 
 
 __all__ = [
@@ -81,7 +199,9 @@ __all__ = [
     "experiment_ids",
     "get_experiment",
     "get_spec",
+    "resolved_parameters",
     "run_experiment",
+    "run_experiment_cached",
     "ExperimentResult",
     "ExperimentSpec",
 ]

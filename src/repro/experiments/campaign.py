@@ -16,6 +16,14 @@ Example::
                  for eid in experiment_ids()],
     )
     manifest = run_campaign(campaign, "results/")
+
+With ``cache_dir=`` set, entries whose ``(experiment, mode, seed,
+parameters)`` identity is already in the result cache are loaded
+instead of recomputed and marked ``"cached": true`` in the manifest.
+:func:`iter_campaign` is the streaming variant: it yields each
+manifest record as its entry completes (completion order under
+``jobs > 1``), so a dashboard or the CLI can tail a long campaign
+instead of waiting for the final manifest.
 """
 
 from __future__ import annotations
@@ -24,11 +32,17 @@ import json
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Callable
+from typing import Any, Callable, Iterator
 
 from repro.errors import ExperimentError
-from repro.experiments import get_spec, run_experiment
-from repro.parallel import map_shards, resolve_jobs, set_default_jobs
+from repro.experiments import get_spec, run_experiment_cached
+from repro.parallel import imap_shards, map_shards, resolve_jobs, set_default_jobs
+
+#: The only keys a campaign-entry description may carry.
+_ENTRY_KEYS = frozenset({"experiment_id", "mode", "seed"})
+
+#: The modes an entry may request.
+_ENTRY_MODES = ("quick", "full")
 
 
 @dataclass(frozen=True)
@@ -45,12 +59,41 @@ class CampaignEntry:
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "CampaignEntry":
-        """Inverse of :meth:`to_dict`."""
-        return cls(
-            experiment_id=data["experiment_id"],
-            mode=data.get("mode", "quick"),
-            seed=int(data.get("seed", 0)),
-        )
+        """Inverse of :meth:`to_dict`, validating the description strictly.
+
+        Unknown keys (a typoed ``"Mode"`` would otherwise silently run
+        the default), non-string ids, bad modes, and non-integer seeds
+        are all :class:`ExperimentError`\\ s with the offending value in
+        the message, so a malformed campaign JSON fails before any work
+        is done rather than quietly running something else.
+        """
+        if not isinstance(data, dict):
+            raise ExperimentError(
+                f"campaign entry must be an object, got {type(data).__name__}"
+            )
+        unknown = sorted(set(data) - _ENTRY_KEYS)
+        if unknown:
+            raise ExperimentError(
+                f"campaign entry has unknown keys {unknown}; "
+                f"allowed keys are {sorted(_ENTRY_KEYS)}"
+            )
+        if "experiment_id" not in data or not isinstance(data["experiment_id"], str):
+            raise ExperimentError(
+                f"campaign entry needs a string 'experiment_id', got {data!r}"
+            )
+        mode = data.get("mode", "quick")
+        if mode not in _ENTRY_MODES:
+            raise ExperimentError(
+                f"campaign entry {data['experiment_id']}: mode must be one of "
+                f"{list(_ENTRY_MODES)}, got {mode!r}"
+            )
+        seed = data.get("seed", 0)
+        if isinstance(seed, bool) or not isinstance(seed, int):
+            raise ExperimentError(
+                f"campaign entry {data['experiment_id']}: seed must be an "
+                f"integer, got {seed!r}"
+            )
+        return cls(experiment_id=data["experiment_id"], mode=mode, seed=seed)
 
 
 @dataclass
@@ -68,7 +111,7 @@ class Campaign:
             raise ExperimentError(f"campaign {self.name!r} has no entries")
         for entry in self.entries:
             get_spec(entry.experiment_id)  # raises on unknown id
-            if entry.mode not in ("quick", "full"):
+            if entry.mode not in _ENTRY_MODES:
                 raise ExperimentError(
                     f"campaign entry {entry.experiment_id}: mode must be "
                     f"'quick' or 'full', got {entry.mode!r}"
@@ -96,11 +139,35 @@ class Campaign:
         )
 
 
-def _execute_entry(entry: CampaignEntry, directory: Path) -> dict[str, Any]:
-    """Run one entry, save its result files, return its manifest record."""
+def _cache_dir_argument(cache: Any | None, cache_dir: str | Path | None) -> str | None:
+    """Normalise campaign cache options to a directory string or ``None``.
+
+    Campaign entries may run in worker processes, so the cache travels
+    as a directory path (each worker opens its own handle on the shared
+    on-disk store); a :class:`~repro.cache.ResultCache` instance
+    contributes its directory.
+    """
+    if cache is not None:
+        return str(cache.directory)
+    if cache_dir is not None:
+        return str(cache_dir)
+    return None
+
+
+def _execute_entry(
+    entry: CampaignEntry, directory: Path, cache_dir: str | None = None
+) -> dict[str, Any]:
+    """Run one entry, save its result files, return its manifest record.
+
+    Cached entries record ``"seconds": 0.0`` — the lookup cost is noise,
+    and a constant keeps manifests reproducible byte-for-byte across
+    runs and worker counts once the cache is warm.
+    """
     started = time.perf_counter()
-    result = run_experiment(entry.experiment_id, mode=entry.mode, seed=entry.seed)
-    elapsed = time.perf_counter() - started
+    result, cached = run_experiment_cached(
+        entry.experiment_id, mode=entry.mode, seed=entry.seed, cache_dir=cache_dir
+    )
+    elapsed = 0.0 if cached else time.perf_counter() - started
     stem = f"{entry.experiment_id.lower()}_{entry.mode}_s{entry.seed}"
     result.save(directory / f"{stem}.json")
     (directory / f"{stem}.txt").write_text(result.render() + "\n")
@@ -109,11 +176,12 @@ def _execute_entry(entry: CampaignEntry, directory: Path) -> dict[str, Any]:
         "result_json": f"{stem}.json",
         "result_text": f"{stem}.txt",
         "seconds": round(elapsed, 2),
+        "cached": cached,
         "findings": result.findings,
     }
 
 
-def _isolated_entry(directory: str, entry_data: dict[str, Any]) -> dict[str, Any]:
+def _isolated_entry(context: dict[str, Any], entry_data: dict[str, Any]) -> dict[str, Any]:
     """Worker-side kernel: one campaign entry in its own process.
 
     Workers are daemonic, so nested ensemble pools are disabled for the
@@ -123,9 +191,43 @@ def _isolated_entry(directory: str, entry_data: dict[str, Any]) -> dict[str, Any
     """
     previous = set_default_jobs(1)
     try:
-        return _execute_entry(CampaignEntry.from_dict(entry_data), Path(directory))
+        return _execute_entry(
+            CampaignEntry.from_dict(entry_data),
+            Path(context["directory"]),
+            cache_dir=context.get("cache_dir"),
+        )
     finally:
         set_default_jobs(previous)
+
+
+def _shielded_entry(context: dict[str, Any], entry_data: dict[str, Any]) -> dict[str, Any]:
+    """Like :func:`_isolated_entry`, but a failure becomes an error record.
+
+    Streaming consumers must receive every entry exactly once even when
+    one worker raises; a pool iterator would otherwise abort on the
+    first failure and swallow the rest of the campaign.
+    """
+    try:
+        return _isolated_entry(context, entry_data)
+    except Exception as error:  # noqa: BLE001 - worker boundary
+        return {**entry_data, "error": f"{type(error).__name__}: {error}"}
+
+
+def _worker_context(directory: Path, cache_dir: str | None) -> dict[str, Any]:
+    return {"directory": str(directory), "cache_dir": cache_dir}
+
+
+def _prepare(campaign: Campaign, output_dir: str | Path) -> Path:
+    campaign.validate()
+    directory = Path(output_dir) / campaign.name
+    directory.mkdir(parents=True, exist_ok=True)
+    return directory
+
+
+def _write_manifest(directory: Path, campaign: Campaign, records: list) -> dict[str, Any]:
+    manifest = {"campaign": campaign.name, "entries": records}
+    (directory / "manifest.json").write_text(json.dumps(manifest, indent=2))
+    return manifest
 
 
 def run_campaign(
@@ -134,6 +236,8 @@ def run_campaign(
     *,
     progress: Callable[[str], None] | None = None,
     jobs: int | None = None,
+    cache: Any | None = None,
+    cache_dir: str | Path | None = None,
 ) -> dict[str, Any]:
     """Execute a campaign, saving each result and a manifest.
 
@@ -147,20 +251,22 @@ def run_campaign(
     in campaign order and byte-identical in structure to a sequential
     run (entry seeding is per-entry, so results match ``jobs=1``
     exactly; only the ``seconds`` timings differ).
+
+    ``cache=`` (a :class:`~repro.cache.ResultCache`) or ``cache_dir=``
+    (a path) enables result caching: entries already in the store are
+    loaded instead of recomputed and marked ``"cached": true`` (with
+    ``"seconds": 0.0``) in the manifest, so a warm fully-cached
+    campaign produces a byte-identical manifest at any worker count.
     """
-    campaign.validate()
-    directory = Path(output_dir) / campaign.name
-    directory.mkdir(parents=True, exist_ok=True)
-    manifest: dict[str, Any] = {
-        "campaign": campaign.name,
-        "entries": [],
-    }
+    directory = _prepare(campaign, output_dir)
+    store_dir = _cache_dir_argument(cache, cache_dir)
     n_workers = resolve_jobs(jobs)
     if n_workers <= 1 or len(campaign.entries) <= 1:
+        records = []
         for entry in campaign.entries:
             if progress is not None:
                 progress(f"running {entry.experiment_id} ({entry.mode}, seed {entry.seed})")
-            manifest["entries"].append(_execute_entry(entry, directory))
+            records.append(_execute_entry(entry, directory, cache_dir=store_dir))
     else:
         tasks = [(entry.to_dict(),) for entry in campaign.entries]
 
@@ -171,13 +277,72 @@ def run_campaign(
                     f"seed {record['seed']}) in {record['seconds']}s"
                 )
 
-        manifest["entries"] = map_shards(
+        records = map_shards(
             _isolated_entry,
-            str(directory),
+            _worker_context(directory, store_dir),
             tasks,
             jobs=n_workers,
             isolate=True,
             on_result=report,
         )
-    (directory / "manifest.json").write_text(json.dumps(manifest, indent=2))
-    return manifest
+    return _write_manifest(directory, campaign, records)
+
+
+def iter_campaign(
+    campaign: Campaign,
+    output_dir: str | Path,
+    *,
+    jobs: int | None = None,
+    cache: Any | None = None,
+    cache_dir: str | Path | None = None,
+) -> Iterator[tuple[int, dict[str, Any]]]:
+    """Stream a campaign: yield ``(index, record)`` as entries complete.
+
+    The streaming sibling of :func:`run_campaign` — same result files,
+    same manifest on disk once the iterator is exhausted — but each
+    manifest record is yielded the moment its entry finishes, in
+    *completion* order under ``jobs > 1`` (``imap_unordered``), so a
+    dashboard or progress line can tail a long campaign live.  ``index``
+    is the entry's position in the campaign, and the on-disk manifest
+    keeps deterministic campaign order regardless of completion order.
+
+    Unlike :func:`run_campaign`, a failing entry does not abort the
+    campaign: its record carries an ``"error"`` message (and no result
+    files), and every entry is yielded exactly once.  Abandoning the
+    iterator early stops the campaign without writing a manifest.
+
+    Validation (unknown ids, bad modes, bad ``jobs``) happens eagerly,
+    before the iterator is returned.
+    """
+    directory = _prepare(campaign, output_dir)
+    store_dir = _cache_dir_argument(cache, cache_dir)
+    n_workers = resolve_jobs(jobs)
+    return _iter_records(campaign, directory, store_dir, n_workers)
+
+
+def _iter_records(
+    campaign: Campaign, directory: Path, store_dir: str | None, n_workers: int
+) -> Iterator[tuple[int, dict[str, Any]]]:
+    """Generator body of :func:`iter_campaign` (validation already done)."""
+    records: list[dict[str, Any] | None] = [None] * len(campaign.entries)
+    if n_workers <= 1 or len(campaign.entries) <= 1:
+        for index, entry in enumerate(campaign.entries):
+            try:
+                record = _execute_entry(entry, directory, cache_dir=store_dir)
+            except Exception as error:  # noqa: BLE001 - mirror worker shielding
+                record = {**entry.to_dict(), "error": f"{type(error).__name__}: {error}"}
+            records[index] = record
+            yield index, record
+    else:
+        tasks = [(entry.to_dict(),) for entry in campaign.entries]
+        for index, record in imap_shards(
+            _shielded_entry,
+            _worker_context(directory, store_dir),
+            tasks,
+            jobs=n_workers,
+            isolate=True,
+            ordered=False,
+        ):
+            records[index] = record
+            yield index, record
+    _write_manifest(directory, campaign, records)

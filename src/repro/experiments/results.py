@@ -76,9 +76,8 @@ class ExperimentResult:
         return path
 
     @classmethod
-    def load(cls, path: str | Path) -> "ExperimentResult":
-        """Read a result previously written by :meth:`save`."""
-        data = json.loads(Path(path).read_text())
+    def from_json_dict(cls, data: dict[str, Any]) -> "ExperimentResult":
+        """Inverse of :meth:`to_json_dict`."""
         try:
             spec = ExperimentSpec.from_dict(data["spec"])
             tables = {
@@ -95,7 +94,16 @@ class ExperimentResult:
                 findings=data["findings"],
             )
         except KeyError as missing:
-            raise ExperimentError(f"malformed result file {path}: missing {missing}") from None
+            raise ExperimentError(f"malformed result payload: missing {missing}") from None
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ExperimentResult":
+        """Read a result previously written by :meth:`save`."""
+        data = json.loads(Path(path).read_text())
+        try:
+            return cls.from_json_dict(data)
+        except ExperimentError as error:
+            raise ExperimentError(f"malformed result file {path}: {error}") from None
 
 
 def _coerce(value: Any):

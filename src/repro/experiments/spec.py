@@ -19,12 +19,18 @@ class ExperimentSpec:
         The paper claim the experiment validates, paraphrased.
     paper_reference:
         Where the claim is stated (theorem/lemma/section).
+    version:
+        Methodology revision of the experiment.  The spec (version
+        included) is part of the result-cache key, so bumping it
+        invalidates cached results when an experiment's procedure
+        changes in a way its workload constants don't capture.
     """
 
     experiment_id: str
     title: str
     claim: str
     paper_reference: str
+    version: str = "1"
 
     def to_dict(self) -> dict[str, str]:
         """Plain-dict form for JSON storage."""
@@ -38,6 +44,7 @@ class ExperimentSpec:
             title=data["title"],
             claim=data["claim"],
             paper_reference=data["paper_reference"],
+            version=data.get("version", "1"),
         )
 
     def header(self) -> str:

@@ -33,7 +33,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import pickle
-from typing import Any, Callable, Sequence
+from typing import Any, Callable, Iterator, Sequence
 
 from repro.errors import ParallelError
 
@@ -139,6 +139,16 @@ def _run_task(task: Sequence[Any]) -> Any:
     return _worker_kernel(_worker_context, *task)
 
 
+def _run_indexed_task(indexed_task: tuple[int, Sequence[Any]]) -> tuple[int, Any]:
+    """Like :func:`_run_task`, but carries the task index with the result.
+
+    Unordered pool iteration loses positional information, so the
+    worker returns it explicitly.
+    """
+    index, task = indexed_task
+    return index, _run_task(task)
+
+
 def _pool_context() -> multiprocessing.context.BaseContext:
     """Prefer ``fork`` (inherits graphs/closures); fall back to default."""
     if "fork" in multiprocessing.get_all_start_methods():
@@ -182,8 +192,44 @@ def map_shards(
         task order as results become available (progress reporting).
     """
     tasks = list(tasks)
+    results: list[Any] = [None] * len(tasks)
+    for index, result in imap_shards(
+        kernel, context, tasks, jobs=jobs, isolate=isolate, ordered=True
+    ):
+        if on_result is not None:
+            on_result(index, result)
+        results[index] = result
+    return results
+
+
+def imap_shards(
+    kernel: Callable[..., Any],
+    context: Any,
+    tasks: Sequence[Sequence[Any]],
+    *,
+    jobs: int | None = None,
+    isolate: bool = False,
+    ordered: bool = True,
+) -> Iterator[tuple[int, Any]]:
+    """Yield ``(index, result)`` pairs as ``kernel(context, *task)`` runs.
+
+    The streaming sibling of :func:`map_shards`, for consumers that
+    want results as they land (progress tails, dashboards) instead of
+    one list at the end.  ``ordered=True`` yields in task order;
+    ``ordered=False`` yields in *completion* order under a pool
+    (``imap_unordered``), which is what keeps a long tail of slow tasks
+    from hiding every finished fast one.  Inline execution (one worker,
+    a single task, nested inside a pool worker, or an unpicklable
+    kernel on spawn-only platforms) always yields in task order —
+    completion order *is* task order there.  All other parameters
+    behave exactly as in :func:`map_shards`.
+
+    Abandoning the iterator early terminates the pool cleanly (the
+    ``with`` block unwinds on ``GeneratorExit``).
+    """
+    tasks = list(tasks)
     if not tasks:
-        return []
+        return
     n_workers = min(resolve_jobs(jobs), len(tasks))
     inline = n_workers <= 1 or multiprocessing.current_process().daemon
     pool_context = _pool_context()
@@ -197,22 +243,21 @@ def map_shards(
         except Exception:
             inline = True
     if inline:
-        results = []
         for index, task in enumerate(tasks):
-            result = kernel(context, *task)
-            if on_result is not None:
-                on_result(index, result)
-            results.append(result)
-        return results
+            yield index, kernel(context, *task)
+        return
     with pool_context.Pool(
         processes=n_workers,
         initializer=_initialize_worker,
         initargs=(kernel, context),
         maxtasksperchild=1 if isolate else None,
     ) as pool:
-        results = []
-        for index, result in enumerate(pool.imap(_run_task, tasks, chunksize=1)):
-            if on_result is not None:
-                on_result(index, result)
-            results.append(result)
-    return results
+        if ordered:
+            for index, result in enumerate(pool.imap(_run_task, tasks, chunksize=1)):
+                yield index, result
+        else:
+            indexed = list(enumerate(tasks))
+            for index, result in pool.imap_unordered(
+                _run_indexed_task, indexed, chunksize=1
+            ):
+                yield index, result

@@ -50,6 +50,38 @@ class TestCampaignDescription:
         with pytest.raises(ExperimentError, match="malformed"):
             Campaign.from_json("{nope")
 
+    def test_unknown_entry_keys_rejected(self):
+        # A typoed key must fail loudly, not silently run the default.
+        with pytest.raises(ExperimentError, match="unknown keys.*'Mode'"):
+            Campaign.from_json(
+                '{"name": "d", "entries": [{"experiment_id": "E5", "Mode": "full"}]}'
+            )
+        with pytest.raises(ExperimentError, match="unknown keys"):
+            CampaignEntry.from_dict({"experiment_id": "E5", "sede": 3})
+
+    def test_bad_mode_rejected_in_from_dict(self):
+        with pytest.raises(ExperimentError, match="mode must be"):
+            CampaignEntry.from_dict({"experiment_id": "E5", "mode": "huge"})
+
+    def test_missing_mode_still_defaults_to_quick(self):
+        assert CampaignEntry.from_dict({"experiment_id": "E5"}).mode == "quick"
+
+    def test_non_integer_seed_rejected(self):
+        with pytest.raises(ExperimentError, match="seed must be an"):
+            CampaignEntry.from_dict({"experiment_id": "E5", "seed": "3"})
+        with pytest.raises(ExperimentError, match="seed must be an"):
+            CampaignEntry.from_dict({"experiment_id": "E5", "seed": True})
+
+    def test_non_dict_entry_rejected(self):
+        with pytest.raises(ExperimentError, match="must be an object"):
+            Campaign.from_json('{"name": "d", "entries": ["E5"]}')
+
+    def test_missing_or_non_string_id_rejected(self):
+        with pytest.raises(ExperimentError, match="experiment_id"):
+            CampaignEntry.from_dict({"mode": "quick"})
+        with pytest.raises(ExperimentError, match="experiment_id"):
+            CampaignEntry.from_dict({"experiment_id": 5})
+
 
 class TestRunCampaign:
     def test_executes_and_writes_manifest(self, tmp_path, monkeypatch):
@@ -119,3 +151,53 @@ class TestRunCampaign:
         campaign = Campaign(name="bad", entries=[CampaignEntry("E5")])
         with pytest.raises(ParallelError, match="jobs"):
             run_campaign(campaign, tmp_path, jobs=-2)
+
+
+class TestIterCampaign:
+    def _mini(self, monkeypatch) -> Campaign:
+        monkeypatch.setattr(e4_duality, "QUICK_TRIALS", 50)
+        monkeypatch.setattr(e4_duality, "EXACT_T_MAX", 3)
+        return Campaign(
+            name="stream",
+            entries=[CampaignEntry("E4", seed=0), CampaignEntry("E4", seed=1)],
+        )
+
+    def test_streams_records_and_writes_manifest(self, tmp_path, monkeypatch):
+        from repro.experiments.campaign import iter_campaign
+
+        campaign = self._mini(monkeypatch)
+        yielded = list(iter_campaign(campaign, tmp_path))
+        assert [index for index, _ in yielded] == [0, 1]
+        assert all(record["findings"] for _, record in yielded)
+
+        manifest = json.loads((tmp_path / "stream" / "manifest.json").read_text())
+        assert manifest["entries"] == [record for _, record in yielded]
+
+    def test_matches_run_campaign_manifest(self, tmp_path, monkeypatch):
+        from repro.experiments.campaign import iter_campaign
+
+        campaign = self._mini(monkeypatch)
+        cache_dir = tmp_path / "cache"
+        run_campaign(campaign, tmp_path / "warm", cache_dir=cache_dir)
+
+        batch = run_campaign(campaign, tmp_path / "batch", cache_dir=cache_dir)
+        list(iter_campaign(campaign, tmp_path / "streamed", jobs=2, cache_dir=cache_dir))
+        streamed = json.loads(
+            (tmp_path / "streamed" / "stream" / "manifest.json").read_text()
+        )
+        assert streamed == batch
+
+    def test_validates_eagerly(self, tmp_path):
+        from repro.experiments.campaign import iter_campaign
+
+        with pytest.raises(ExperimentError, match="no entries"):
+            iter_campaign(Campaign(name="empty"), tmp_path)
+
+    def test_abandoning_iterator_writes_no_manifest(self, tmp_path, monkeypatch):
+        from repro.experiments.campaign import iter_campaign
+
+        campaign = self._mini(monkeypatch)
+        iterator = iter_campaign(campaign, tmp_path)
+        next(iterator)
+        iterator.close()
+        assert not (tmp_path / "stream" / "manifest.json").exists()

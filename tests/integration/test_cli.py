@@ -152,3 +152,86 @@ class TestCommands:
         before = default_jobs()
         assert main(["--jobs", "3", "list"]) == 0
         assert default_jobs() == before
+
+
+class TestCacheCommands:
+    def _shrink_e4(self, monkeypatch):
+        monkeypatch.setattr(e4_duality, "QUICK_TRIALS", 50)
+        monkeypatch.setattr(e4_duality, "EXACT_T_MAX", 3)
+
+    def test_run_with_cache_dir_hits_on_second_run(self, capsys, tmp_path, monkeypatch):
+        self._shrink_e4(monkeypatch)
+        cache_dir = str(tmp_path / "cache")
+        assert main(["run", "E4", "--cache-dir", cache_dir]) == 0
+        assert "(cached)" not in capsys.readouterr().out
+        assert main(["run", "E4", "--cache-dir", cache_dir]) == 0
+        assert "(cached)" in capsys.readouterr().out
+
+    def test_no_cache_disables_cache_dir(self, capsys, tmp_path, monkeypatch):
+        self._shrink_e4(monkeypatch)
+        cache_dir = str(tmp_path / "cache")
+        assert main(["run", "E4", "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        assert main(["run", "E4", "--cache-dir", cache_dir, "--no-cache"]) == 0
+        assert "(cached)" not in capsys.readouterr().out
+
+    def test_campaign_with_cache_reports_cached_runs(self, capsys, tmp_path, monkeypatch):
+        self._shrink_e4(monkeypatch)
+        description = tmp_path / "campaign.json"
+        description.write_text(
+            '{"name": "cached-mini", "entries": [{"experiment_id": "E4"}]}'
+        )
+        cache_dir = str(tmp_path / "cache")
+        arguments = [
+            "campaign", str(description), "--out", str(tmp_path), "--cache-dir", cache_dir
+        ]
+        assert main(arguments) == 0
+        capsys.readouterr()
+        assert main(arguments) == 0
+        out = capsys.readouterr().out
+        assert "(1 cached)" in out
+        manifest = json.loads(
+            (tmp_path / "cached-mini" / "manifest.json").read_text()
+        )
+        assert manifest["entries"][0]["cached"] is True
+
+    def test_campaign_stream_prints_per_entry_lines(self, capsys, tmp_path, monkeypatch):
+        self._shrink_e4(monkeypatch)
+        description = tmp_path / "campaign.json"
+        description.write_text(
+            '{"name": "streamed", "entries": ['
+            '{"experiment_id": "E4", "seed": 0}, {"experiment_id": "E4", "seed": 1}]}'
+        )
+        assert main(["campaign", str(description), "--out", str(tmp_path), "--stream"]) == 0
+        out = capsys.readouterr().out
+        assert "[1/2] E4" in out
+        assert "[2/2] E4" in out
+        assert (tmp_path / "streamed" / "manifest.json").exists()
+
+    def test_cache_stats_clear_prune(self, capsys, tmp_path, monkeypatch):
+        self._shrink_e4(monkeypatch)
+        cache_dir = str(tmp_path / "cache")
+        assert main(["run", "E4", "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+
+        assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "entries: 1" in out
+
+        assert main(["cache", "prune", "--cache-dir", cache_dir]) == 0
+        assert "pruned 0" in capsys.readouterr().out
+
+        assert main(["cache", "clear", "--cache-dir", cache_dir]) == 0
+        assert "removed 1" in capsys.readouterr().out
+        assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+        assert "entries: 0" in capsys.readouterr().out
+
+    def test_cache_action_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache", "nuke"])
+
+    def test_cache_stats_does_not_create_directory(self, capsys, tmp_path):
+        missing = tmp_path / "absent-cache"
+        assert main(["cache", "stats", "--cache-dir", str(missing)]) == 0
+        assert "entries: 0" in capsys.readouterr().out
+        assert not missing.exists()
