@@ -45,7 +45,10 @@ from repro.experiments.results import ExperimentResult
 
 #: Version of the on-disk entry layout.  Entries recording any other
 #: version are ignored (miss) and removed by ``prune()``.
-CACHE_SCHEMA_VERSION = 1
+#: 2: the batch-engine v2 rewrite (and the degree-regular sampling fast
+#: path) changed every same-seed simulation stream, so v1-era results
+#: must never be served next to v2 outputs.
+CACHE_SCHEMA_VERSION = 2
 
 #: Default store location used by the CLI ``cache`` subcommand when no
 #: ``--cache-dir`` is given.

@@ -7,7 +7,13 @@ branching factor and a seed; call :meth:`step` (or use the runners in
 :class:`~repro.core.process.RoundRecord` objects.
 """
 
-from repro.core.batch import batch_bips_infection_times, batch_cobra_cover_times
+from repro.core.batch import (
+    BatchTraces,
+    batch_bips_infection_times,
+    batch_bips_traces,
+    batch_cobra_cover_times,
+    batch_cobra_traces,
+)
 from repro.core.bips import BipsProcess
 from repro.core.cobra import CobraProcess
 from repro.core.dynamic import (
@@ -46,6 +52,9 @@ __all__ = [
     "default_max_rounds",
     "batch_cobra_cover_times",
     "batch_bips_infection_times",
+    "batch_cobra_traces",
+    "batch_bips_traces",
+    "BatchTraces",
     "DynamicCobraProcess",
     "DynamicBipsProcess",
     "EvolvingRegularGraph",

@@ -1,28 +1,52 @@
-"""Batched ensemble simulation: many independent replicas, one array.
+"""Batched ensemble simulation v2: many independent replicas, one array.
 
 The experiment ensembles run hundreds of independent replicas of the
 same configuration.  Stepping them one by one pays NumPy call overhead
 per replica per round; the batch engines here evolve all replicas
-simultaneously as ``(R, n)`` boolean matrices, which makes ensemble
-measurement 10–50× faster for small graphs and large `R`.
+simultaneously as ``(R, n)`` boolean matrices.
+
+The v2 kernels are *allocation-lean*: every per-round buffer (the
+next-state matrix, the newly-covered scratch, the flat vertex/offset
+index vectors) is allocated once per shard and reused through
+``out=`` / in-place operations, active/covered updates scatter through
+a single flat ``ravel``-indexed assignment instead of a Python loop
+over draws, and finished replicas are *compacted out* of the live
+block (their rows physically removed) rather than masked, so the
+per-round cost tracks the unfinished population exactly.
 
 Semantics are identical to :class:`~repro.core.cobra.CobraProcess` and
 :class:`~repro.core.bips.BipsProcess` with replacement sampling (the
 paper's setting), for any real branching factor ``>= 1`` including the
 fractional ``k = 1 + ρ`` regime of Theorem 3; the test suite checks
-distributional agreement against the sequential engines.  Completed
-replicas are frozen (their rows stop being simulated) so the loop cost
-tracks the unfinished population.
+distributional agreement against the sequential engines.
+
+Two output modes share one kernel per process:
+
+* the *times* engines (:func:`batch_cobra_cover_times`,
+  :func:`batch_bips_infection_times`) return the ``(R,)`` completion
+  times;
+* the *trace* engines (:func:`batch_cobra_traces`,
+  :func:`batch_bips_traces`) additionally record per-round
+  active / newly-covered / transmission counts as ``(R, T)`` arrays
+  (a :class:`BatchTraces`), so message-accounting and phase-curve
+  ensembles (E9, E6) ride the same fast path.  Recording consumes no
+  extra randomness: for a fixed seed the trace engines' completion
+  times are bit-identical to the times engines'.
 
 Both engines shard their replicas into about
 :data:`~repro.parallel.DEFAULT_SHARD_COUNT` fixed blocks seeded by
 ``SeedSequence.spawn`` children indexed by shard position.  The shard
 decomposition depends only on ``n_replicas`` and ``shard_size`` —
-never on ``jobs`` — so the returned array is bit-identical whether the
-shards run inline (``jobs=1``) or across a process pool (``jobs>1``).
+never on ``jobs`` — so every returned array is bit-identical whether
+the shards run inline (``jobs=1``) or across a process pool
+(``jobs>1``).  When the pool would *spawn* workers (no ``fork``), the
+graph ships once through a :class:`~repro.parallel.SharedGraph`
+segment and reattaches zero-copy in each worker.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -34,65 +58,231 @@ from repro.core.process import (
 from repro.core.runner import default_max_rounds
 from repro.errors import CoverTimeoutError
 from repro.graphs.base import Graph
-from repro.parallel import map_shards, shard_bounds
+from repro.parallel import (
+    SharedGraph,
+    map_shards,
+    pool_start_method,
+    resolve_shared_graph,
+    shard_bounds,
+    will_pool,
+)
 
 
-def _sample_columns(
-    graph: Graph, vertices: np.ndarray, k: int, rng: np.random.Generator
-) -> np.ndarray:
-    """Uniform neighbour draws for a flat vertex array, shape ``(len, k)``."""
-    return graph.sample_neighbors(vertices, k, rng)
+@dataclass(frozen=True)
+class BatchTraces:
+    """Per-round curves of a batched ensemble, one row per replica.
+
+    All matrices share the shape ``(n_replicas, rounds)``; column
+    ``t`` describes round ``t + 1``.  A replica's columns beyond its
+    completion round are zero (nothing happens after completion), so
+    row sums and row maxima are meaningful without masking.
+
+    Attributes
+    ----------
+    completion_times:
+        ``(R,)`` completion round per replica; ``-1`` marks a timeout.
+    active_counts:
+        ``|C_t|`` (COBRA) / ``|A_t|`` (BIPS) after each round.
+    newly_counts:
+        Vertices covered (COBRA) / ever-infected (BIPS) for the first
+        time in each round.
+    transmissions:
+        Messages sent in each round (BIPS: contacts made, the
+        persistent source excluded, matching the sequential engines).
+    initial_active:
+        ``|C_0|`` / ``|A_0|`` — the batch engines start from a single
+        vertex, so this is 1.
+    initial_cumulative:
+        Covered/infected count at round 0 (0 for COBRA under the
+        paper's convention, 1 with ``include_start_in_cover``; 1 for
+        BIPS).
+    """
+
+    completion_times: np.ndarray
+    active_counts: np.ndarray
+    newly_counts: np.ndarray
+    transmissions: np.ndarray
+    initial_active: int
+    initial_cumulative: int
+
+    @property
+    def n_replicas(self) -> int:
+        """Number of replicas (rows)."""
+        return int(self.completion_times.size)
+
+    @property
+    def rounds(self) -> int:
+        """Number of recorded rounds ``T`` (columns)."""
+        return int(self.active_counts.shape[1])
+
+    def cumulative_counts(self) -> np.ndarray:
+        """``(R, T)`` covered/infected totals after each round."""
+        return self.initial_cumulative + np.cumsum(self.newly_counts, axis=1)
+
+    def total_transmissions(self) -> np.ndarray:
+        """``(R,)`` messages summed over each replica's whole run."""
+        return self.transmissions.sum(axis=1)
+
+    def peak_transmissions(self) -> np.ndarray:
+        """``(R,)`` largest per-round message count of each replica."""
+        return self.transmissions.max(axis=1)
+
+    def active_trajectory(self, replica: int) -> np.ndarray:
+        """``[|A_0|, |A_1|, ..., |A_T_r|]`` for one replica.
+
+        Index = round, starting at round 0; a timed-out replica's
+        trajectory spans all recorded rounds.
+        """
+        stop = int(self.completion_times[replica])
+        if stop < 0:
+            stop = self.rounds
+        head = np.asarray([self.initial_active], dtype=np.int64)
+        return np.concatenate([head, self.active_counts[replica, :stop]])
+
+
+class _ShardTraceRecorder:
+    """Per-round counters of one shard, scattered by replica id.
+
+    The kernels hand in live-block vectors (one entry per *unfinished*
+    replica); the recorder scatters them into fixed ``(R, capacity)``
+    matrices, doubling the round capacity as needed, so recording adds
+    no per-round allocation in the steady state.
+    """
+
+    def __init__(self, n_replicas: int) -> None:
+        self._n = n_replicas
+        self._capacity = 64
+        self._active = np.zeros((n_replicas, self._capacity), dtype=np.int64)
+        self._newly = np.zeros((n_replicas, self._capacity), dtype=np.int64)
+        self._transmissions = np.zeros((n_replicas, self._capacity), dtype=np.int64)
+        self._rounds = 0
+
+    def record(
+        self,
+        replica_ids: np.ndarray,
+        active: np.ndarray,
+        newly: np.ndarray,
+        transmissions: np.ndarray,
+    ) -> None:
+        if self._rounds == self._capacity:
+            self._capacity *= 2
+            grow = lambda a: np.concatenate([a, np.zeros_like(a)], axis=1)  # noqa: E731
+            self._active = grow(self._active)
+            self._newly = grow(self._newly)
+            self._transmissions = grow(self._transmissions)
+        column = self._rounds
+        self._active[replica_ids, column] = active
+        self._newly[replica_ids, column] = newly
+        self._transmissions[replica_ids, column] = transmissions
+        self._rounds += 1
+
+    def finalize(self, completion_times: np.ndarray) -> tuple[np.ndarray, ...]:
+        rounds = self._rounds
+        return (
+            completion_times,
+            self._active[:, :rounds].copy(),
+            self._newly[:, :rounds].copy(),
+            self._transmissions[:, :rounds].copy(),
+        )
 
 
 def _cobra_shard(
     context: tuple, start_index: int, stop_index: int, seed: SeedLike
-) -> np.ndarray:
-    """Cover times for one shard of replicas; ``-1`` marks a timeout."""
-    graph, start, mandatory, rho, max_rounds, include_start_in_cover = context
+) -> np.ndarray | tuple[np.ndarray, ...]:
+    """One shard of COBRA replicas; ``-1`` marks a timeout.
+
+    Returns the cover times, or ``(times, active, newly,
+    transmissions)`` matrices when tracing is requested.
+    """
+    graph, start, mandatory, rho, max_rounds, include_start_in_cover, record = context
+    graph = resolve_shared_graph(graph)
     n_replicas = stop_index - start_index
     rng = ensure_generator(seed)
     n = graph.n_vertices
+    # Rows are padded to a power-of-two pitch so the flat active
+    # positions decompose into (row base, vertex) with a mask instead
+    # of an integer division; padding columns are never set.
+    stride = 1 << (n - 1).bit_length() if n > 1 else 1
+    vertex_mask = stride - 1
 
-    active = np.zeros((n_replicas, n), dtype=bool)
+    # Row i of every buffer belongs to replica ``replica_ids[i]``; rows
+    # of finished replicas are compacted away, so ``[:live]`` is always
+    # the whole unfinished population and nothing else.
+    active = np.zeros((n_replicas, stride), dtype=bool)
     active[:, start] = True
-    covered = np.zeros((n_replicas, n), dtype=bool)
+    covered = np.zeros((n_replicas, stride), dtype=bool)
     if include_start_in_cover:
         covered[:, start] = True
+    # Scratch for the per-round counts; fully recomputed from
+    # ``covered`` before every read, so no initial fill is needed.
+    covered_counts = np.empty(n_replicas, dtype=np.int64)
     cover_times = np.full(n_replicas, -1, dtype=np.int64)
-    unfinished = np.arange(n_replicas)
-    covered_counts = covered.sum(axis=1)
+    replica_ids = np.arange(n_replicas)
+    scratch = np.zeros((n_replicas, stride), dtype=bool)
+    newly = np.empty((n_replicas, stride), dtype=bool) if record else None
+    recorder = _ShardTraceRecorder(n_replicas) if record else None
 
+    live = n_replicas
     for round_index in range(1, max_rounds + 1):
-        if unfinished.size == 0:
+        if live == 0:
             break
-        rows, columns = np.nonzero(active[unfinished])
-        replica_of_row = unfinished[rows]
-        picks = _sample_columns(graph, columns, mandatory, rng)
-        next_active = np.zeros((n_replicas, n), dtype=bool)
-        for draw in range(mandatory):
-            next_active[replica_of_row, picks[:, draw]] = True
+        flat_active = active[:live].ravel()
+        positions = np.flatnonzero(flat_active)
+        columns = positions & vertex_mask
+        bases = positions - columns
+        picks = graph.sample_neighbors(columns, mandatory, rng)
+        next_state = scratch[:live]
+        next_state[...] = False
+        flat_next = next_state.ravel()
+        # Single flat scatter for all mandatory draws of all replicas.
+        picks += bases[:, None]
+        flat_next[picks] = True
+        branch = None
         if rho > 0.0:
             branch = rng.random(columns.size) < rho
             if branch.any():
-                extra = _sample_columns(graph, columns[branch], 1, rng).ravel()
-                next_active[replica_of_row[branch], extra] = True
-        active[unfinished] = next_active[unfinished]
-        newly = next_active[unfinished] & ~covered[unfinished]
-        covered[unfinished] |= next_active[unfinished]
-        covered_counts[unfinished] += newly.sum(axis=1)
-        done = unfinished[covered_counts[unfinished] == n]
-        if done.size:
-            cover_times[done] = round_index
-            unfinished = unfinished[covered_counts[unfinished] < n]
+                extra = graph.sample_neighbors(columns[branch], 1, rng).ravel()
+                flat_next[bases[branch] + extra] = True
+        cumulative = covered[:live]
+        if recorder is not None:
+            fresh = newly[:live]
+            np.greater(next_state, cumulative, out=fresh)  # next & ~covered
+            fresh_counts = fresh.sum(axis=1)
+            rows = bases // stride
+            transmissions = np.bincount(rows, minlength=live) * mandatory
+            if branch is not None:
+                transmissions += np.bincount(rows[branch], minlength=live)
+            recorder.record(
+                replica_ids[:live], next_state.sum(axis=1), fresh_counts, transmissions
+            )
+        cumulative |= next_state
+        counts = covered_counts[:live]
+        np.sum(cumulative, axis=1, out=counts)
+        if int(counts.max()) == n:
+            done = counts == n
+            cover_times[replica_ids[:live][done]] = round_index
+            keep = ~done
+            live = int(keep.sum())
+            active[:live] = next_state[keep]
+            covered[:live] = cumulative[keep]
+            replica_ids[:live] = replica_ids[: keep.size][keep]
+        else:
+            active, scratch = scratch, active
 
-    return cover_times
+    if recorder is None:
+        return cover_times
+    return recorder.finalize(cover_times)
 
 
 def _bips_shard(
     context: tuple, start_index: int, stop_index: int, seed: SeedLike
-) -> np.ndarray:
-    """Infection times for one shard of replicas; ``-1`` marks a timeout."""
-    graph, source, mandatory, rho, max_rounds = context
+) -> np.ndarray | tuple[np.ndarray, ...]:
+    """One shard of BIPS replicas; ``-1`` marks a timeout.
+
+    Returns the infection times, or the trace matrices when requested.
+    """
+    graph, source, mandatory, rho, max_rounds, record = context
+    graph = resolve_shared_graph(graph)
     n_replicas = stop_index - start_index
     rng = ensure_generator(seed)
     n = graph.n_vertices
@@ -100,48 +290,131 @@ def _bips_shard(
     infected = np.zeros((n_replicas, n), dtype=bool)
     infected[:, source] = True
     infection_times = np.full(n_replicas, -1, dtype=np.int64)
-    unfinished = np.arange(n_replicas)
-    all_vertices = np.arange(n, dtype=np.int64)
+    replica_ids = np.arange(n_replicas)
+    scratch = np.empty((n_replicas, n), dtype=bool)
+    # Every vertex of every live replica samples each round; the flat
+    # vertex list and the per-slot state-row offsets never change, so
+    # both are built once and sliced to the live block.
+    flat_vertices = np.tile(np.arange(n, dtype=np.int64), n_replicas)
+    row_offsets = np.repeat(np.arange(n_replicas, dtype=np.int64) * n, n)
+    hits_buffer = np.empty((n_replicas * n, mandatory), dtype=bool)
+    recorder = _ShardTraceRecorder(n_replicas) if record else None
+    if recorder is not None:
+        ever_infected = infected.copy()
+        newly = np.empty((n_replicas, n), dtype=bool)
 
+    live = n_replicas
     for round_index in range(1, max_rounds + 1):
-        if unfinished.size == 0:
+        if live == 0:
             break
-        u_count = unfinished.size
-        flat_vertices = np.tile(all_vertices, u_count)
-        picks = _sample_columns(graph, flat_vertices, mandatory, rng)
-        picks = picks.reshape(u_count, n, mandatory)
-        state = infected[unfinished]
-        row_of = np.arange(u_count)[:, None, None]
-        next_state = state[row_of, picks].any(axis=2)
+        slots = live * n
+        vertices = flat_vertices[:slots]
+        picks = graph.sample_neighbors(vertices, mandatory, rng)
+        picks += row_offsets[:slots, None]
+        state_flat = infected[:live].ravel()
+        hits = hits_buffer[:slots]
+        np.take(state_flat, picks, out=hits)
+        next_state = scratch[:live]
+        next_flat = next_state.ravel()
+        np.any(hits, axis=1, out=next_flat)
+        coin = None
         if rho > 0.0:
-            coin = rng.random((u_count, n)) < rho
-            extra = _sample_columns(graph, flat_vertices, 1, rng).reshape(u_count, n)
-            next_state |= coin & state[np.arange(u_count)[:, None], extra]
+            coin = rng.random(slots) < rho
+            extra_slots = np.flatnonzero(coin)
+            if extra_slots.size:
+                extra = graph.sample_neighbors(vertices[extra_slots], 1, rng).ravel()
+                next_flat[extra_slots] |= state_flat[extra + row_offsets[extra_slots]]
         next_state[:, source] = True
-        infected[unfinished] = next_state
         counts = next_state.sum(axis=1)
-        done_mask = counts == n
-        done = unfinished[done_mask]
-        if done.size:
-            infection_times[done] = round_index
-            unfinished = unfinished[~done_mask]
+        if recorder is not None:
+            fresh = newly[:live]
+            np.greater(next_state, ever_infected[:live], out=fresh)
+            fresh_counts = fresh.sum(axis=1)
+            ever_infected[:live] |= next_state
+            # Contacts per replica, the persistent source's excluded
+            # (its draws exist only for vectorisation, like the
+            # sequential engine).
+            transmissions = np.full(live, (n - 1) * mandatory, dtype=np.int64)
+            if coin is not None and extra_slots.size:
+                non_source = vertices[extra_slots] != source
+                transmissions += np.bincount(
+                    extra_slots[non_source] // n, minlength=live
+                )
+            recorder.record(replica_ids[:live], counts, fresh_counts, transmissions)
+        done = counts == n
+        if done.any():
+            infection_times[replica_ids[:live][done]] = round_index
+            keep = ~done
+            live = int(keep.sum())
+            infected[:live] = next_state[keep]
+            replica_ids[:live] = replica_ids[: keep.size][keep]
+            if recorder is not None:
+                ever_infected[:live] = ever_infected[: keep.size][keep]
+        else:
+            infected, scratch = scratch, infected
 
-    return infection_times
+    if recorder is None:
+        return infection_times
+    return recorder.finalize(infection_times)
 
 
 def _run_sharded(
     kernel,
-    context: tuple,
+    graph: Graph,
+    parameters: tuple,
     n_replicas: int,
     seed: SeedLike,
     shard_size: int | None,
     jobs: int | None,
-) -> np.ndarray:
-    """Shard ``n_replicas`` rows, seed each shard, run, and concatenate."""
+) -> list:
+    """Shard ``n_replicas`` rows, seed each shard, run, return raw results.
+
+    When the shards will run on a spawn-started pool (no ``fork``) the
+    graph is published once through a
+    :class:`~repro.parallel.SharedGraph` so every worker reattaches the
+    CSR arrays zero-copy instead of unpickling its own copy; the
+    segments are freed before returning, even on error.
+    """
     bounds = shard_bounds(n_replicas, shard_size)
     seeds = spawn_seed_sequences(seed, len(bounds))
     tasks = [(start, stop, shard_seed) for (start, stop), shard_seed in zip(bounds, seeds)]
-    return np.concatenate(map_shards(kernel, context, tasks, jobs=jobs))
+    if will_pool(jobs, len(tasks)) and pool_start_method() != "fork":
+        with SharedGraph(graph) as handle:
+            return map_shards(kernel, (handle, *parameters), tasks, jobs=jobs)
+    return map_shards(kernel, (graph, *parameters), tasks, jobs=jobs)
+
+
+def _merge_traces(results: list) -> tuple[np.ndarray, ...]:
+    """Concatenate per-shard trace tuples, padding rounds to the longest."""
+    times = np.concatenate([shard[0] for shard in results])
+    rounds = max(shard[1].shape[1] for shard in results)
+
+    def stack(position: int) -> np.ndarray:
+        padded = [
+            np.pad(shard[position], ((0, 0), (0, rounds - shard[position].shape[1])))
+            if shard[position].shape[1] < rounds
+            else shard[position]
+            for shard in results
+        ]
+        return np.concatenate(padded, axis=0)
+
+    return times, stack(1), stack(2), stack(3)
+
+
+def _check_timeouts(
+    times: np.ndarray,
+    raise_on_timeout: bool,
+    process_name: str,
+    goal: str,
+    graph: Graph,
+    max_rounds: int,
+) -> None:
+    timed_out = int((times < 0).sum())
+    if timed_out and raise_on_timeout:
+        raise CoverTimeoutError(
+            f"{timed_out}/{times.size} {process_name} replicas on {graph.name} "
+            f"did not {goal} within {max_rounds} rounds"
+        )
 
 
 def batch_cobra_cover_times(
@@ -176,15 +449,55 @@ def batch_cobra_cover_times(
         raise ValueError(f"n_replicas must be >= 1, got {n_replicas}")
     if max_rounds is None:
         max_rounds = default_max_rounds(graph)
-    context = (graph, start, mandatory, rho, max_rounds, include_start_in_cover)
-    times = _run_sharded(_cobra_shard, context, n_replicas, seed, shard_size, jobs)
-    timed_out = int((times < 0).sum())
-    if timed_out and raise_on_timeout:
-        raise CoverTimeoutError(
-            f"{timed_out}/{n_replicas} COBRA replicas on {graph.name} "
-            f"did not cover within {max_rounds} rounds"
-        )
+    parameters = (start, mandatory, rho, max_rounds, include_start_in_cover, False)
+    times = np.concatenate(
+        _run_sharded(_cobra_shard, graph, parameters, n_replicas, seed, shard_size, jobs)
+    )
+    _check_timeouts(times, raise_on_timeout, "COBRA", "cover", graph, max_rounds)
     return times
+
+
+def batch_cobra_traces(
+    graph: Graph,
+    start: int,
+    *,
+    branching: float = 2.0,
+    n_replicas: int = 100,
+    seed: SeedLike = None,
+    max_rounds: int | None = None,
+    include_start_in_cover: bool = False,
+    raise_on_timeout: bool = True,
+    jobs: int | None = None,
+    shard_size: int | None = None,
+) -> BatchTraces:
+    """Per-round curves of ``n_replicas`` independent COBRA runs.
+
+    The trace sibling of :func:`batch_cobra_cover_times`: same kernel,
+    same randomness (for a fixed seed the ``completion_times`` are
+    bit-identical to the times engine's output), but each round's
+    active / newly-covered / transmission counts are recorded per
+    replica, so message-accounting ensembles leave the sequential
+    path.  Sharding and ``jobs`` follow the same seed-stable contract.
+    """
+    mandatory, rho = validate_branching(branching)
+    start = resolve_vertex(graph, start, role="start")
+    if n_replicas < 1:
+        raise ValueError(f"n_replicas must be >= 1, got {n_replicas}")
+    if max_rounds is None:
+        max_rounds = default_max_rounds(graph)
+    parameters = (start, mandatory, rho, max_rounds, include_start_in_cover, True)
+    times, active, newly, transmissions = _merge_traces(
+        _run_sharded(_cobra_shard, graph, parameters, n_replicas, seed, shard_size, jobs)
+    )
+    _check_timeouts(times, raise_on_timeout, "COBRA", "cover", graph, max_rounds)
+    return BatchTraces(
+        completion_times=times,
+        active_counts=active,
+        newly_counts=newly,
+        transmissions=transmissions,
+        initial_active=1,
+        initial_cumulative=1 if include_start_in_cover else 0,
+    )
 
 
 def batch_bips_infection_times(
@@ -212,12 +525,49 @@ def batch_bips_infection_times(
         raise ValueError(f"n_replicas must be >= 1, got {n_replicas}")
     if max_rounds is None:
         max_rounds = default_max_rounds(graph)
-    context = (graph, source, mandatory, rho, max_rounds)
-    times = _run_sharded(_bips_shard, context, n_replicas, seed, shard_size, jobs)
-    timed_out = int((times < 0).sum())
-    if timed_out and raise_on_timeout:
-        raise CoverTimeoutError(
-            f"{timed_out}/{n_replicas} BIPS replicas on {graph.name} "
-            f"did not infect within {max_rounds} rounds"
-        )
+    parameters = (source, mandatory, rho, max_rounds, False)
+    times = np.concatenate(
+        _run_sharded(_bips_shard, graph, parameters, n_replicas, seed, shard_size, jobs)
+    )
+    _check_timeouts(times, raise_on_timeout, "BIPS", "infect", graph, max_rounds)
     return times
+
+
+def batch_bips_traces(
+    graph: Graph,
+    source: int,
+    *,
+    branching: float = 2.0,
+    n_replicas: int = 100,
+    seed: SeedLike = None,
+    max_rounds: int | None = None,
+    raise_on_timeout: bool = True,
+    jobs: int | None = None,
+    shard_size: int | None = None,
+) -> BatchTraces:
+    """Per-round curves of ``n_replicas`` independent BIPS runs.
+
+    The trace sibling of :func:`batch_bips_infection_times` (same
+    kernel and randomness; bit-identical ``completion_times``), used by
+    the phase-curve ensembles.  ``active_counts`` are the infected-set
+    sizes ``|A_t|`` the proof of Theorem 2 tracks.
+    """
+    mandatory, rho = validate_branching(branching)
+    source = resolve_vertex(graph, source, role="source")
+    if n_replicas < 1:
+        raise ValueError(f"n_replicas must be >= 1, got {n_replicas}")
+    if max_rounds is None:
+        max_rounds = default_max_rounds(graph)
+    parameters = (source, mandatory, rho, max_rounds, True)
+    times, active, newly, transmissions = _merge_traces(
+        _run_sharded(_bips_shard, graph, parameters, n_replicas, seed, shard_size, jobs)
+    )
+    _check_timeouts(times, raise_on_timeout, "BIPS", "infect", graph, max_rounds)
+    return BatchTraces(
+        completion_times=times,
+        active_counts=active,
+        newly_counts=newly,
+        transmissions=transmissions,
+        initial_active=1,
+        initial_cumulative=1,
+    )

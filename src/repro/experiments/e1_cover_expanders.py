@@ -29,6 +29,9 @@ SPEC = ExperimentSpec(
         "independent of the degree r for 3 <= r <= n-1"
     ),
     paper_reference="Theorem 1",
+    # v2: ensembles ride the vectorised batch engine (same distribution,
+    # different same-seed draws), invalidating cached v1 results.
+    version="2",
 )
 
 QUICK_SIZES = (256, 512, 1024, 2048)
@@ -124,6 +127,7 @@ def run(mode: str = "quick", seed: int = 0) -> ExperimentResult:
             "degrees": list(degrees),
             "samples": samples,
             "branching": 2.0,
+            "engine": "batch",
         },
         tables={
             "cover times": measurements,

@@ -27,6 +27,9 @@ SPEC = ExperimentSpec(
         "for every constant rho > 0"
     ),
     paper_reference="Theorem 3 (via Corollary 1)",
+    # v2: the batch-kernel rewrite changed this experiment's same-seed
+    # draws (distribution unchanged), invalidating cached v1 results.
+    version="2",
 )
 
 QUICK_SIZES = (256, 512, 1024, 2048)

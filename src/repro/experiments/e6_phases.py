@@ -16,13 +16,10 @@ is that they do, and that durations scale like ``log n``).
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro._rng import spawn_generators
 from repro.analysis.fitting import fit_log_linear
 from repro.analysis.stats import summarize
 from repro.analysis.tables import Table
-from repro.core.bips import BipsProcess
+from repro.core.batch import batch_bips_traces
 from repro.core.runner import default_max_rounds
 from repro.experiments.results import ExperimentResult
 from repro.experiments.spec import ExperimentSpec
@@ -44,6 +41,9 @@ SPEC = ExperimentSpec(
         "23 log n/(1-lambda) more, and covers within 8 log n/(1-lambda) more, w.h.p."
     ),
     paper_reference="Lemmas 2, 3, 4 (proof of Theorem 2)",
+    # v2: trajectories come from the batched trace engine (same
+    # distribution, different same-seed draws).
+    version="2",
 )
 
 QUICK_SIZES = (512, 1024, 2048, 4096)
@@ -52,15 +52,6 @@ FULL_SIZES = (512, 1024, 2048, 4096, 8192)
 FULL_TRAJECTORIES = 30
 DEGREE = 8
 SIMULATION_K = 1.0  # scaled-down boundary constant (paper: 4000)
-
-
-def _trajectory_sizes(process: BipsProcess, max_rounds: int) -> np.ndarray:
-    """``|A_t|`` for t = 0 .. infection time (capped)."""
-    sizes = [process.active_count]
-    while not process.is_complete and process.round_index < max_rounds:
-        record = process.step()
-        sizes.append(record.active_count)
-    return np.asarray(sizes, dtype=np.int64)
 
 
 def run(mode: str = "quick", seed: int = 0) -> ExperimentResult:
@@ -96,9 +87,19 @@ def run(mode: str = "quick", seed: int = 0) -> ExperimentResult:
         mid_rounds: list[int] = []
         endgame_rounds: list[int] = []
         cap = default_max_rounds(graph)
-        for rng in spawn_generators((seed, n, 6), trajectories):
-            process = BipsProcess(graph, 0, branching=2.0, seed=rng)
-            trajectory = _trajectory_sizes(process, cap)
+        # One batched-trace call evolves every trajectory of this cell
+        # simultaneously; ``active_trajectory`` recovers the per-round
+        # ``|A_t|`` curve (round 0 included) each lemma check needs.
+        traces = batch_bips_traces(
+            graph,
+            0,
+            branching=2.0,
+            n_replicas=trajectories,
+            seed=(seed, n, 6),
+            max_rounds=cap,
+        )
+        for replica in range(trajectories):
+            trajectory = traces.active_trajectory(replica)
             breakdown = split_phases(trajectory, n, boundary)
             if (
                 breakdown.small_phase_rounds is None
@@ -163,6 +164,7 @@ def run(mode: str = "quick", seed: int = 0) -> ExperimentResult:
             "degree": DEGREE,
             "trajectories": trajectories,
             "boundary_constant": SIMULATION_K,
+            "engine": "batch-traces",
         },
         tables={"phase durations vs budgets": table},
         findings=findings,

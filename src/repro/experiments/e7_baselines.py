@@ -34,6 +34,9 @@ SPEC = ExperimentSpec(
         "k=1 (a single random walk) needs Omega(n log n) on any graph"
     ),
     paper_reference="Section 1 (results (i)-(iii) of Dutta et al., and the k=1 remark)",
+    # v2: the COBRA ensembles ride the batch engine default (same
+    # distribution, different same-seed draws).
+    version="2",
 )
 
 QUICK = {

@@ -37,6 +37,9 @@ SPEC = ExperimentSpec(
         "time must not exceed 3"
     ),
     paper_reference="Theorem 1 (gap dependence)",
+    # v2: ensembles ride the vectorised batch engine (same distribution,
+    # different same-seed draws), invalidating cached v1 results.
+    version="2",
 )
 
 CIRCULANT_N = 513  # odd => non-bipartite for every offset set
@@ -138,6 +141,7 @@ def run(mode: str = "quick", seed: int = 0) -> ExperimentResult:
             "regular_n": REGULAR_N,
             "degrees": list(degrees),
             "samples": samples,
+            "engine": "batch",
         },
         tables={"cover vs gap": table, "power-law fits": fits},
         figures={"cover vs inverse gap": figure},

@@ -75,17 +75,19 @@ def measure_cobra_cover(
     seed: SeedLike = None,
     max_rounds: int | None = None,
     jobs: int | None = None,
-    engine: str = "process",
+    engine: str = "batch",
 ) -> EnsembleMeasurement:
     """Ensemble of COBRA cover times on ``graph``.
 
-    ``engine="process"`` steps independent
-    :class:`~repro.core.cobra.CobraProcess` replicas; ``"batch"`` uses
-    the vectorised :func:`~repro.core.batch.batch_cobra_cover_times`
-    fast path — identical in distribution (any real branching factor,
-    including the fractional ``1 + ρ`` of Theorem 3) and much faster
-    for large ensembles.  ``jobs`` shards the replicas over worker
-    processes with seed-stable results either way.
+    ``engine="batch"`` (the default) uses the vectorised
+    :func:`~repro.core.batch.batch_cobra_cover_times` fast path;
+    ``"process"`` steps independent
+    :class:`~repro.core.cobra.CobraProcess` replicas instead.  The two
+    are identical in distribution (any real branching factor,
+    including the fractional ``1 + ρ`` of Theorem 3), and the batch
+    engine is much faster for large ensembles.  ``jobs`` shards the
+    replicas over worker processes with seed-stable results either
+    way.
     """
     _validate_engine(engine)
     if engine == "batch":
@@ -117,12 +119,12 @@ def measure_bips_infection(
     seed: SeedLike = None,
     max_rounds: int | None = None,
     jobs: int | None = None,
-    engine: str = "process",
+    engine: str = "batch",
 ) -> EnsembleMeasurement:
     """Ensemble of BIPS infection times on ``graph``.
 
-    Supports the same ``engine`` / ``jobs`` options as
-    :func:`measure_cobra_cover`.
+    Supports the same ``engine`` / ``jobs`` options (and the same
+    ``"batch"`` default) as :func:`measure_cobra_cover`.
     """
     _validate_engine(engine)
     if engine == "batch":

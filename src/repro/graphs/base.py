@@ -27,6 +27,32 @@ import numpy as np
 from repro.errors import GraphConstructionError, GraphPropertyError
 
 
+def uniform_draws(
+    rng: np.random.Generator, bound: int, count: int, width: int
+) -> np.ndarray:
+    """``(count, width)`` independent uniform int64 draws from ``[0, bound)``.
+
+    The one shared implementation behind every neighbour-sampling fast
+    path (sequential and batched), so all engines consume identical
+    streams for identical requests.  For power-of-two bounds — the
+    regular expander degrees 4, 8, 16, ... — draws are *bit-sliced* out
+    of full 64-bit random words (one word yields ``64 // log2(bound)``
+    exact draws), several times cheaper than per-draw bounded rejection
+    sampling; other bounds use the generator's bounded-integer path.
+    """
+    if bound & (bound - 1) == 0:
+        bits = bound.bit_length() - 1
+        if bits == 0:
+            return np.zeros((count, width), dtype=np.int64)
+        per_word = 64 // bits
+        total = count * width
+        words = rng.integers(0, 2**64, size=-(-total // per_word), dtype=np.uint64)
+        shifts = np.arange(per_word, dtype=np.uint64) * np.uint64(bits)
+        draws = (words[:, None] >> shifts) & np.uint64(bound - 1)
+        return draws.astype(np.int64).ravel()[:total].reshape(count, width)
+    return rng.integers(0, bound, size=(count, width))
+
+
 class Graph:
     """An immutable simple undirected graph in CSR form.
 
@@ -117,6 +143,46 @@ class Graph:
             flat.extend(sorted(row))
         indices = np.asarray(flat, dtype=np.int64)
         return cls(indptr, indices, name=name)
+
+    @classmethod
+    def adopt_validated_csr(
+        cls, indptr: np.ndarray, indices: np.ndarray, *, name: str = "graph"
+    ) -> "Graph":
+        """Wrap pre-validated CSR arrays *without copying them*.
+
+        The zero-copy constructor used by
+        :class:`repro.parallel.SharedGraph` to rebuild a graph around
+        shared-memory buffers in worker processes.  The caller
+        certifies the arrays describe a simple undirected graph with
+        sorted rows (i.e. they came out of a validated :class:`Graph`);
+        nothing is checked beyond the basic indptr frame, and the views
+        are frozen in place.  The arrays must be ``int64`` and
+        C-contiguous; buffers they borrow (e.g. a
+        ``multiprocessing.shared_memory`` segment) must outlive the
+        graph.
+        """
+        indptr = np.asarray(indptr, dtype=np.int64)
+        indices = np.asarray(indices, dtype=np.int64)
+        if indptr.ndim != 1 or indices.ndim != 1:
+            raise GraphConstructionError("indptr and indices must be 1-D arrays")
+        if indptr.size < 2 or indptr[0] != 0 or indptr[-1] != indices.size:
+            raise GraphConstructionError(
+                f"indptr must start at 0 and end at len(indices)={indices.size}"
+            )
+        graph = cls.__new__(cls)
+        graph._indptr = indptr
+        graph._indices = indices
+        graph._name = name
+        graph._degrees = np.diff(indptr)
+        degrees = graph._degrees
+        graph._regular_degree = (
+            int(degrees[0]) if degrees.size and np.all(degrees == degrees[0]) else None
+        )
+        graph._neighbor_matrix = None
+        graph._indptr.flags.writeable = False
+        graph._indices.flags.writeable = False
+        graph._degrees.flags.writeable = False
+        return graph
 
     # ------------------------------------------------------------------
     # Validation
@@ -287,6 +353,15 @@ class Graph:
             raise ValueError(f"samples_per_vertex must be >= 1, got {samples_per_vertex}")
         if vertices.size == 0:
             return np.empty((0, samples_per_vertex), dtype=np.int64)
+        r = self._regular_degree
+        if r is not None and r > 0:
+            # Degree-regular fast path (every expander workload): row
+            # ``u`` starts at ``u * r``, so one integer draw per slot
+            # addresses ``indices`` directly — no degree gather, no
+            # float multiply.
+            positions = uniform_draws(rng, r, vertices.size, samples_per_vertex)
+            positions += (vertices * r)[:, None]
+            return self._indices[positions]
         degrees = self._degrees[vertices]
         if np.any(degrees == 0):
             bad = int(vertices[np.argmax(degrees == 0)])

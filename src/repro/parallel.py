@@ -20,12 +20,19 @@ rules every parallel entry point follows.
   process parameters) travels once per worker through the pool
   initializer, not once per task.
 
-Pools prefer the ``fork`` start method where available, so graphs and
-closures are inherited by workers instead of pickled per task; on
+Pools prefer the ``fork`` start method where available (unless the
+application pinned another method with
+``multiprocessing.set_start_method``, which is respected), so graphs
+and closures are inherited by workers instead of pickled per task; on
 platforms without ``fork`` the kernel and its context must be
 picklable.  Inside a pool worker (a daemonic process) the machinery
 degrades to inline execution automatically — nested pools are never
 created.
+
+For spawn-started pools, :class:`SharedGraph` publishes a graph's CSR
+arrays once through ``multiprocessing.shared_memory`` and reattaches
+them zero-copy in every worker, so shipping a large graph costs one
+copy total instead of one per worker per task.
 """
 
 from __future__ import annotations
@@ -33,9 +40,13 @@ from __future__ import annotations
 import multiprocessing
 import os
 import pickle
+from multiprocessing import shared_memory
 from typing import Any, Callable, Iterator, Sequence
 
+import numpy as np
+
 from repro.errors import ParallelError
+from repro.graphs.base import Graph
 
 #: Default number of shards a workload is split into.  The
 #: decomposition of an ensemble into shards depends on this value and
@@ -149,11 +160,238 @@ def _run_indexed_task(indexed_task: tuple[int, Sequence[Any]]) -> tuple[int, Any
     return index, _run_task(task)
 
 
+def will_pool(jobs: int | None, n_tasks: int) -> bool:
+    """Whether :func:`map_shards` would start a real worker pool.
+
+    The one shared predicate behind the pool-vs-inline decision, so
+    callers that prepare pool-only machinery (e.g. publishing a
+    :class:`SharedGraph`) agree with the execution layer.  (Inline
+    degradation for unpicklable kernels on spawn platforms is decided
+    later, inside :func:`imap_shards`.)
+    """
+    return (
+        n_tasks > 1
+        and min(resolve_jobs(jobs), n_tasks) > 1
+        and not multiprocessing.current_process().daemon
+    )
+
+
 def _pool_context() -> multiprocessing.context.BaseContext:
-    """Prefer ``fork`` (inherits graphs/closures); fall back to default."""
+    """The context pools are built from.
+
+    An explicitly pinned start method
+    (``multiprocessing.set_start_method``) wins — that is how the test
+    suite forces the ``spawn`` path on fork-capable platforms.  A
+    default that was merely *resolved* by earlier default-context use
+    counts as pinned too (CPython exposes no way to tell the two
+    apart); that is deliberate — once the application runs under a
+    fixed method, pools follow it rather than fight it.  Otherwise
+    prefer ``fork`` (inherits graphs/closures); fall back to the
+    platform default.
+    """
+    pinned = multiprocessing.get_start_method(allow_none=True)
+    if pinned is not None:
+        return multiprocessing.get_context(pinned)
     if "fork" in multiprocessing.get_all_start_methods():
         return multiprocessing.get_context("fork")
     return multiprocessing.get_context()
+
+
+def pool_start_method() -> str:
+    """The start method worker pools will actually use."""
+    return _pool_context().get_start_method()
+
+
+def _attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without resource-tracker adoption.
+
+    Before Python 3.13 an *attaching* ``SharedMemory`` still registers
+    with the process-local resource tracker, which then unlinks the
+    segment when the attaching process exits — destroying it for the
+    publisher and every other worker.  3.13+ exposes ``track=False``;
+    earlier versions need the registration undone by hand.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: no ``track`` parameter
+        from multiprocessing import resource_tracker
+
+        # Silence registration for the duration of the attach.  An
+        # explicit ``unregister`` afterwards would be wrong: workers
+        # share the publisher's tracker process, so it would cancel the
+        # *publisher's* registration and orphan the segment on crash.
+        original_register = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original_register
+
+
+class SharedGraph:
+    """A picklable zero-copy handle to a :class:`~repro.graphs.base.Graph`.
+
+    ``SharedGraph(graph)`` *publishes* the graph's CSR ``indptr`` /
+    ``indices`` arrays into two ``multiprocessing.shared_memory``
+    segments — one copy, total.  The handle pickles to a few hundred
+    bytes of metadata (segment names, lengths, graph name), so shipping
+    it to spawn-started workers through a pool initializer costs
+    nothing; each worker's :meth:`graph` call reattaches the segments
+    and rebuilds the graph around read-only views of the shared buffers
+    (no validation, no copy).
+
+    Lifecycle: the publishing process owns the segments and must call
+    :meth:`unlink` (or use the handle as a context manager) when the
+    pooled work is done; workers only ever attach and never unlink.
+    ``unlink`` removes the segment names — memory is returned once the
+    last attached process drops its mapping.  On fork platforms the
+    handle also works (workers inherit the parent's attachment), it is
+    just unnecessary: :func:`map_shards` ships plain graphs for free
+    there.
+    """
+
+    def __init__(self, graph: Graph) -> None:
+        self._name = graph.name
+        self._n_indptr = graph.indptr.size
+        self._n_indices = graph.indices.size
+        self._owner = True
+        # Assign both segment slots before creating anything so a
+        # creation failure (e.g. a full /dev/shm) leaves an object
+        # ``unlink`` can still clean up instead of a half-built one.
+        self._indptr_shm: shared_memory.SharedMemory | None = None
+        self._indices_shm: shared_memory.SharedMemory | None = None
+        self._graph: Graph | None = None
+        try:
+            # SharedMemory rejects zero-length segments; an edgeless
+            # graph still publishes a 1-byte indices segment (never read).
+            self._indptr_shm = shared_memory.SharedMemory(
+                create=True, size=max(1, graph.indptr.nbytes)
+            )
+            self._indices_shm = shared_memory.SharedMemory(
+                create=True, size=max(1, graph.indices.nbytes)
+            )
+            np.ndarray(self._n_indptr, dtype=np.int64, buffer=self._indptr_shm.buf)[
+                :
+            ] = graph.indptr
+            np.ndarray(self._n_indices, dtype=np.int64, buffer=self._indices_shm.buf)[
+                :
+            ] = graph.indices
+        except BaseException:
+            self.unlink()
+            raise
+        self._indptr_segment = self._indptr_shm.name
+        self._indices_segment = self._indices_shm.name
+        # The publisher already has the graph; workers build theirs lazily.
+        self._graph = graph
+
+    # -- pickling ------------------------------------------------------
+
+    def __getstate__(self) -> dict[str, Any]:
+        return {
+            "name": self._name,
+            "n_indptr": self._n_indptr,
+            "n_indices": self._n_indices,
+            "indptr_segment": self._indptr_segment,
+            "indices_segment": self._indices_segment,
+        }
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self._name = state["name"]
+        self._n_indptr = state["n_indptr"]
+        self._n_indices = state["n_indices"]
+        self._indptr_segment = state["indptr_segment"]
+        self._indices_segment = state["indices_segment"]
+        self._owner = False
+        self._indptr_shm = None
+        self._indices_shm = None
+        self._graph = None
+
+    # -- access --------------------------------------------------------
+
+    def graph(self) -> Graph:
+        """The shared graph, attaching to the segments on first use.
+
+        Worker-side calls build the graph around zero-copy views of the
+        shared buffers and cache it; the publisher returns the original
+        graph it was constructed from.
+        """
+        if self._graph is None:
+            if self._indptr_shm is None:
+                self._indptr_shm = _attach_segment(self._indptr_segment)
+                self._indices_shm = _attach_segment(self._indices_segment)
+            indptr = np.ndarray(
+                self._n_indptr, dtype=np.int64, buffer=self._indptr_shm.buf
+            )
+            indices = np.ndarray(
+                self._n_indices, dtype=np.int64, buffer=self._indices_shm.buf
+            )
+            self._graph = Graph.adopt_validated_csr(indptr, indices, name=self._name)
+        return self._graph
+
+    def unlink(self) -> None:
+        """Publisher-side: free the segments (idempotent).
+
+        Attached workers keep their mappings until they drop them; new
+        attaches fail afterwards.
+        """
+        if not self._owner:
+            return
+        for segment in (self._indptr_shm, self._indices_shm):
+            if segment is None:
+                continue
+            try:
+                segment.close()
+            except BufferError:  # pragma: no cover - live views in this process
+                pass
+            try:
+                segment.unlink()
+            except FileNotFoundError:
+                pass
+        self._indptr_shm = None
+        self._indices_shm = None
+
+    def __enter__(self) -> "SharedGraph":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.unlink()
+
+    def __del__(self) -> None:  # pragma: no cover - shutdown ordering varies
+        # Best-effort cleanup: owners free their segments even when
+        # ``unlink`` was forgotten; attached workers drop their views
+        # before closing so interpreter shutdown stays silent.
+        try:
+            self._graph = None
+            if self._owner:
+                self.unlink()
+            else:
+                for segment in (self._indptr_shm, self._indices_shm):
+                    if segment is not None:
+                        try:
+                            segment.close()
+                        except Exception:
+                            pass
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:
+        role = "publisher" if self._owner else "attached"
+        return (
+            f"SharedGraph({self._name!r}, segments="
+            f"[{self._indptr_segment}, {self._indices_segment}], {role})"
+        )
+
+
+def resolve_shared_graph(graph_or_handle: "Graph | SharedGraph") -> Graph:
+    """Accept either a plain graph or a shared handle; return the graph.
+
+    Kernels call this on the graph slot of their shipped context so the
+    same kernel works with fork-inherited graphs and shared-memory
+    handles alike.
+    """
+    if isinstance(graph_or_handle, SharedGraph):
+        return graph_or_handle.graph()
+    return graph_or_handle
 
 
 def map_shards(
@@ -231,7 +469,7 @@ def imap_shards(
     if not tasks:
         return
     n_workers = min(resolve_jobs(jobs), len(tasks))
-    inline = n_workers <= 1 or multiprocessing.current_process().daemon
+    inline = not will_pool(jobs, len(tasks))
     pool_context = _pool_context()
     if not inline and pool_context.get_start_method() != "fork":
         # Without fork the initializer arguments travel by pickle;

@@ -2,10 +2,30 @@
 
 from __future__ import annotations
 
+import multiprocessing
+import os
+
 import numpy as np
 import pytest
 
 from repro.graphs import generators
+
+# The CI "spawn" job sets REPRO_TEST_START_METHOD=spawn so the whole
+# suite runs its pools without fork inheritance — the regime where the
+# shared-memory graph path actually carries the data.  The method must
+# be pinned at import time, before any pool (or the resource tracker)
+# exists.
+_START_METHOD = os.environ.get("REPRO_TEST_START_METHOD")
+if _START_METHOD:
+    multiprocessing.set_start_method(_START_METHOD, force=True)
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _pinned_start_method():
+    """Fail loudly if the requested start method did not take effect."""
+    if _START_METHOD:
+        assert multiprocessing.get_start_method() == _START_METHOD
+    yield
 
 
 @pytest.fixture

@@ -1,0 +1,202 @@
+"""Tests for the batched trace engines against the sequential ones."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._rng import spawn_generators
+from repro.core.batch import (
+    batch_bips_infection_times,
+    batch_bips_traces,
+    batch_cobra_cover_times,
+    batch_cobra_traces,
+)
+from repro.core.bips import BipsProcess
+from repro.core.cobra import CobraProcess
+from repro.core.metrics import summarize_trace
+from repro.core.runner import run_process
+from repro.errors import CoverTimeoutError
+from repro.graphs import generators
+
+
+def _sequential_cobra_traces(graph, branching, n_samples, seed):
+    """(times, total msgs, peak msgs, active counts per round) stepped."""
+    times, totals, peaks, actives = [], [], [], []
+    for rng in spawn_generators(seed, n_samples):
+        process = CobraProcess(graph, 0, branching=branching, seed=rng)
+        result = run_process(process, record_trace=True, raise_on_timeout=True)
+        summary = summarize_trace(result.trace)
+        times.append(result.completion_time)
+        totals.append(summary.total_transmissions)
+        peaks.append(summary.peak_transmissions_per_round)
+        actives.append(result.trace.active_counts())
+    return (
+        np.asarray(times),
+        np.asarray(totals),
+        np.asarray(peaks),
+        actives,
+    )
+
+
+def _assert_means_agree(a: np.ndarray, b: np.ndarray, sigmas: float = 5.0) -> None:
+    """Means agree within ``sigmas`` pooled standard errors."""
+    pooled = np.sqrt(a.var(ddof=1) / a.size + b.var(ddof=1) / b.size)
+    assert abs(a.mean() - b.mean()) < sigmas * pooled + 1e-9
+
+
+class TestCobraTraces:
+    def test_times_bit_identical_to_times_engine(self, small_expander):
+        # Recording consumes no randomness: both engines draw the same
+        # streams, so the completion times are equal, not just equal in
+        # distribution.
+        times = batch_cobra_cover_times(small_expander, 0, n_replicas=40, seed=9)
+        traces = batch_cobra_traces(small_expander, 0, n_replicas=40, seed=9)
+        assert np.array_equal(traces.completion_times, times)
+
+    def test_shapes_and_padding(self, small_expander):
+        n = small_expander.n_vertices
+        traces = batch_cobra_traces(small_expander, 0, n_replicas=30, seed=1)
+        times = traces.completion_times
+        assert traces.n_replicas == 30
+        assert traces.active_counts.shape == (30, traces.rounds)
+        assert traces.rounds == times.max()
+        # Columns beyond a replica's completion stay zero, so row
+        # reductions need no masking.
+        for replica in range(30):
+            stop = times[replica]
+            assert np.all(traces.active_counts[replica, stop:] == 0)
+            assert np.all(traces.transmissions[replica, stop:] == 0)
+        # Every vertex is covered exactly once across the rounds.
+        assert np.all(traces.newly_counts.sum(axis=1) == n)
+        cumulative = traces.cumulative_counts()
+        assert np.all(cumulative[np.arange(30), times - 1] == n)
+
+    def test_k2_on_k2_trace_is_deterministic(self):
+        traces = batch_cobra_traces(generators.complete(2), 0, n_replicas=20, seed=3)
+        assert np.all(traces.completion_times == 2)
+        assert traces.rounds == 2
+        # One active token per round, two pushes per round, one fresh
+        # vertex per round.
+        assert np.all(traces.active_counts == 1)
+        assert np.all(traces.transmissions == 2)
+        assert np.all(traces.newly_counts == 1)
+
+    def test_total_and_peak_messages_match_sequential(self, small_expander):
+        seq_times, seq_totals, seq_peaks, _ = _sequential_cobra_traces(
+            small_expander, 2.0, 200, 5
+        )
+        traces = batch_cobra_traces(small_expander, 0, n_replicas=200, seed=6)
+        _assert_means_agree(seq_times.astype(float), traces.completion_times.astype(float))
+        _assert_means_agree(seq_totals.astype(float), traces.total_transmissions().astype(float))
+        _assert_means_agree(seq_peaks.astype(float), traces.peak_transmissions().astype(float))
+
+    def test_round_curve_matches_sequential(self, small_expander):
+        # Mean |C_t| of the first rounds agrees between the stepped and
+        # the batched engine (the distributional round-curve contract).
+        _, _, _, seq_actives = _sequential_cobra_traces(small_expander, 2.0, 200, 7)
+        traces = batch_cobra_traces(small_expander, 0, n_replicas=200, seed=8)
+        for round_index in range(3):
+            sequential = np.asarray([curve[round_index] for curve in seq_actives])
+            batched = traces.active_counts[:, round_index]
+            _assert_means_agree(sequential.astype(float), batched.astype(float))
+
+    def test_fractional_branching_messages_match_sequential(self, small_expander):
+        _, seq_totals, _, _ = _sequential_cobra_traces(small_expander, 1.5, 200, 15)
+        traces = batch_cobra_traces(
+            small_expander, 0, branching=1.5, n_replicas=200, seed=16
+        )
+        _assert_means_agree(seq_totals.astype(float), traces.total_transmissions().astype(float))
+
+    def test_jobs_invariance_of_all_arrays(self, small_expander):
+        inline = batch_cobra_traces(small_expander, 0, n_replicas=80, seed=4, jobs=1)
+        pooled = batch_cobra_traces(small_expander, 0, n_replicas=80, seed=4, jobs=3)
+        assert np.array_equal(inline.completion_times, pooled.completion_times)
+        assert np.array_equal(inline.active_counts, pooled.active_counts)
+        assert np.array_equal(inline.newly_counts, pooled.newly_counts)
+        assert np.array_equal(inline.transmissions, pooled.transmissions)
+
+    def test_timeout_behaviour(self, small_expander):
+        with pytest.raises(CoverTimeoutError):
+            batch_cobra_traces(small_expander, 0, n_replicas=5, seed=6, max_rounds=1)
+        traces = batch_cobra_traces(
+            small_expander, 0, n_replicas=5, seed=6, max_rounds=1, raise_on_timeout=False
+        )
+        assert np.all(traces.completion_times == -1)
+        assert traces.rounds == 1
+        # A timed-out replica's trajectory spans every recorded round.
+        assert traces.active_trajectory(0).size == 2
+
+    def test_include_start_in_cover_shifts_cumulative(self):
+        traces = batch_cobra_traces(
+            generators.complete(2), 0, n_replicas=10, seed=1, include_start_in_cover=True
+        )
+        assert traces.initial_cumulative == 1
+        assert np.all(traces.completion_times == 1)
+
+    def test_validation(self, small_expander):
+        with pytest.raises(ValueError, match="n_replicas"):
+            batch_cobra_traces(small_expander, 0, n_replicas=0)
+
+
+class TestBipsTraces:
+    def test_times_bit_identical_to_times_engine(self, small_expander):
+        times = batch_bips_infection_times(small_expander, 0, n_replicas=40, seed=9)
+        traces = batch_bips_traces(small_expander, 0, n_replicas=40, seed=9)
+        assert np.array_equal(traces.completion_times, times)
+
+    def test_trajectory_shape_and_completion(self, small_expander):
+        n = small_expander.n_vertices
+        traces = batch_bips_traces(small_expander, 0, n_replicas=25, seed=2)
+        times = traces.completion_times
+        assert np.all(traces.active_counts[np.arange(25), times - 1] == n)
+        for replica in range(25):
+            trajectory = traces.active_trajectory(replica)
+            assert trajectory[0] == 1  # |A_0| = {source}
+            assert trajectory[-1] == n
+            assert trajectory.size == times[replica] + 1
+
+    def test_integer_branching_transmissions_are_constant(self, small_expander):
+        # Every non-source vertex contacts exactly k neighbours per
+        # round, so each live round records (n-1)k contacts.
+        n = small_expander.n_vertices
+        traces = batch_bips_traces(small_expander, 0, n_replicas=20, seed=3)
+        live = traces.transmissions > 0
+        assert np.all(traces.transmissions[live] == (n - 1) * 2)
+
+    def test_round_curve_matches_sequential(self, small_expander):
+        sequential = []
+        for rng in spawn_generators(41, 200):
+            process = BipsProcess(small_expander, 0, branching=2.0, seed=rng)
+            result = run_process(process, record_trace=True, raise_on_timeout=True)
+            sequential.append(result.trace.active_counts())
+        traces = batch_bips_traces(small_expander, 0, n_replicas=200, seed=42)
+        for round_index in range(3):
+            stepped = np.asarray([curve[round_index] for curve in sequential])
+            batched = traces.active_counts[:, round_index]
+            _assert_means_agree(stepped.astype(float), batched.astype(float))
+
+    def test_jobs_invariance_of_all_arrays(self, small_expander):
+        inline = batch_bips_traces(small_expander, 0, n_replicas=80, seed=4, jobs=1)
+        pooled = batch_bips_traces(small_expander, 0, n_replicas=80, seed=4, jobs=3)
+        assert np.array_equal(inline.completion_times, pooled.completion_times)
+        assert np.array_equal(inline.active_counts, pooled.active_counts)
+        assert np.array_equal(inline.newly_counts, pooled.newly_counts)
+        assert np.array_equal(inline.transmissions, pooled.transmissions)
+
+    def test_fractional_branching_trace(self, small_expander):
+        n = small_expander.n_vertices
+        traces = batch_bips_traces(
+            small_expander, 0, branching=1.5, n_replicas=40, seed=5
+        )
+        live = traces.transmissions > 0
+        # Between k and k+1 contacts per non-source vertex per round.
+        assert np.all(traces.transmissions[live] >= (n - 1) * 1)
+        assert np.all(traces.transmissions[live] <= (n - 1) * 2)
+
+    def test_timeout_behaviour(self, small_expander):
+        traces = batch_bips_traces(
+            small_expander, 0, n_replicas=5, seed=6, max_rounds=1, raise_on_timeout=False
+        )
+        assert np.all(traces.completion_times == -1)
+        assert traces.rounds == 1

@@ -1,0 +1,161 @@
+"""Tests for shared-memory graph publishing (:class:`repro.parallel.SharedGraph`)."""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro import parallel
+from repro.core.batch import batch_bips_infection_times, batch_cobra_cover_times
+from repro.graphs.base import Graph
+from repro.parallel import SharedGraph, map_shards, resolve_shared_graph
+
+from tests.properties.strategies import connected_small_graphs
+
+
+def _segment_exists(name: str) -> bool:
+    try:
+        segment = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return False
+    segment.close()
+    return True
+
+
+def _crash_kernel(context, value):
+    raise RuntimeError(f"worker crash #{value}")
+
+
+def _degree_kernel(context, vertex):
+    graph = resolve_shared_graph(context)
+    return int(graph.degree(vertex))
+
+
+class TestSharedGraphRoundTrip:
+    def test_publisher_returns_original_graph(self, small_expander):
+        with SharedGraph(small_expander) as handle:
+            assert handle.graph() is small_expander
+
+    def test_pickled_handle_rebuilds_equal_graph(self, small_expander):
+        with SharedGraph(small_expander) as handle:
+            attached = pickle.loads(pickle.dumps(handle))
+            rebuilt = attached.graph()
+            assert rebuilt == small_expander
+            assert rebuilt.name == small_expander.name
+            assert rebuilt.regular_degree == small_expander.regular_degree
+            # Zero-copy: the worker-side arrays borrow the shared
+            # buffer instead of owning their data.
+            assert not rebuilt.indices.flags.owndata
+            assert not rebuilt.indices.flags.writeable
+
+    def test_handle_pickles_small(self, small_expander):
+        # The whole point: shipping the handle must not ship the graph.
+        assert len(pickle.dumps(SharedGraph(small_expander))) < 1000
+
+    def test_unlink_frees_segments_and_is_idempotent(self, small_expander):
+        handle = SharedGraph(small_expander)
+        names = (handle._indptr_segment, handle._indices_segment)
+        assert all(_segment_exists(name) for name in names)
+        handle.unlink()
+        assert not any(_segment_exists(name) for name in names)
+        handle.unlink()  # second unlink is a no-op
+
+    def test_attach_after_unlink_fails(self, small_expander):
+        handle = SharedGraph(small_expander)
+        attached = pickle.loads(pickle.dumps(handle))
+        handle.unlink()
+        with pytest.raises(FileNotFoundError):
+            attached.graph()
+
+    def test_resolve_passthrough_for_plain_graphs(self, small_expander):
+        assert resolve_shared_graph(small_expander) is small_expander
+
+    def test_failed_publish_releases_first_segment(self, monkeypatch, small_expander):
+        # If the second segment creation fails (full /dev/shm), the
+        # first must be unlinked rather than leaked until reboot.
+        created = []
+        real_shared_memory = shared_memory.SharedMemory
+
+        def flaky(*args, **kwargs):
+            if created:
+                raise OSError("no space left on /dev/shm")
+            segment = real_shared_memory(*args, **kwargs)
+            created.append(segment.name)
+            return segment
+
+        monkeypatch.setattr(parallel.shared_memory, "SharedMemory", flaky)
+        with pytest.raises(OSError, match="no space"):
+            SharedGraph(small_expander)
+        monkeypatch.undo()
+        assert not _segment_exists(created[0])
+
+    @settings(max_examples=25, deadline=None)
+    @given(graph=connected_small_graphs())
+    def test_roundtrip_bit_identical_and_always_unlinked(self, graph: Graph):
+        # The Hypothesis contract of the satellite: arbitrary graphs
+        # round-trip their CSR arrays bit-identically, and the
+        # publisher's context manager releases the segments even when
+        # the consumer explodes mid-flight.
+        handle = SharedGraph(graph)
+        names = (handle._indptr_segment, handle._indices_segment)
+        with pytest.raises(RuntimeError, match="consumer crash"):
+            with handle:
+                attached = pickle.loads(pickle.dumps(handle))
+                rebuilt = attached.graph()
+                assert np.array_equal(rebuilt.indptr, graph.indptr)
+                assert np.array_equal(rebuilt.indices, graph.indices)
+                assert rebuilt.indptr.dtype == np.int64
+                assert rebuilt.indices.dtype == np.int64
+                raise RuntimeError("consumer crash")
+        assert not any(_segment_exists(name) for name in names)
+
+
+class TestSharedGraphInPools:
+    def test_no_leaked_segments_when_a_worker_crashes(self, small_expander):
+        handle = SharedGraph(small_expander)
+        names = (handle._indptr_segment, handle._indices_segment)
+        with pytest.raises(RuntimeError, match="worker crash"):
+            with handle:
+                map_shards(_crash_kernel, handle, [(1,), (2,)], jobs=2)
+        assert not any(_segment_exists(name) for name in names)
+
+    def test_kernels_resolve_shared_context(self, small_expander):
+        with SharedGraph(small_expander) as handle:
+            degrees = map_shards(_degree_kernel, handle, [(0,), (1,)], jobs=2)
+        assert degrees == [small_expander.degree(0), small_expander.degree(1)]
+
+    def test_batch_engines_match_inline_under_spawn_pools(
+        self, monkeypatch, small_expander
+    ):
+        # Force the pool layer onto spawn workers (no fork inheritance):
+        # the batch engines must publish the graph through shared
+        # memory, and the results must stay bit-identical to inline
+        # execution.
+        monkeypatch.setattr(
+            parallel, "_pool_context", lambda: multiprocessing.get_context("spawn")
+        )
+        inline = batch_cobra_cover_times(small_expander, 0, n_replicas=70, seed=3, jobs=1)
+        pooled = batch_cobra_cover_times(small_expander, 0, n_replicas=70, seed=3, jobs=2)
+        assert np.array_equal(inline, pooled)
+        inline = batch_bips_infection_times(small_expander, 0, n_replicas=70, seed=4, jobs=1)
+        pooled = batch_bips_infection_times(small_expander, 0, n_replicas=70, seed=4, jobs=2)
+        assert np.array_equal(inline, pooled)
+
+
+class TestAdoptValidatedCsr:
+    def test_adopts_without_copy(self, petersen):
+        adopted = Graph.adopt_validated_csr(
+            petersen.indptr, petersen.indices, name="adopted"
+        )
+        assert adopted == petersen
+        assert np.shares_memory(adopted.indices, petersen.indices)
+        assert adopted.regular_degree == 3
+
+    def test_rejects_malformed_frame(self):
+        with pytest.raises(Exception, match="indptr"):
+            Graph.adopt_validated_csr(np.asarray([0, 2]), np.asarray([1]))
