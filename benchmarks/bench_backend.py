@@ -1,0 +1,137 @@
+"""Benchmark of the batch engines across array backends.
+
+Runs the ladder-cell COBRA and BIPS workloads (random 8-regular
+expander, ``k = 2``) on every backend importable in this environment —
+always the NumPy reference and the generic array-API implementation
+over the NumPy namespace, plus CuPy when a GPU stack is installed —
+and writes the measured matrix to ``benchmarks/out/BENCH_backend.json``.
+
+Two contracts are *asserted* on every run:
+
+* **Determinism across backends** — all randomness is host-drawn, so
+  every deterministic backend must return bit-identical cover and
+  infection times for a fixed seed, not merely equal distributions.
+* **Graceful degradation** — machines without a GPU library skip the
+  GPU rows (recorded under ``"skipped"``) instead of failing; the
+  benchmark never requires hardware the container does not have.
+
+Timings are *reported*, not asserted: the array-API implementation
+trades the NumPy backend's ``out=`` in-place ops for one temporary per
+call (the generality cost on the host), and GPU throughput depends on
+the device.  ``REPRO_BENCH_QUICK=1`` shrinks the workloads to smoke
+scale (CI runs it that way).
+"""
+
+from __future__ import annotations
+
+import importlib
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.backends import available_backends, resolve_backend
+from repro.core.batch import batch_bips_infection_times, batch_cobra_cover_times
+from repro.graphs.generators import random_regular
+
+BENCH_QUICK = os.environ.get("REPRO_BENCH_QUICK") == "1"
+OUT_PATH = Path(__file__).resolve().parent / "out" / "BENCH_backend.json"
+
+N = 64 if BENCH_QUICK else 128
+COBRA_REPLICAS = 64 if BENCH_QUICK else 512
+BIPS_REPLICAS = 32 if BENCH_QUICK else 128
+SHARD = 64 if BENCH_QUICK else 128
+DEGREE = 8
+REPETITIONS = 2 if BENCH_QUICK else 5
+
+#: Backends that exist but need an optional library; recorded as
+#: skipped (with the reason) when absent instead of failing the run.
+OPTIONAL_BACKENDS = ("cupy",)
+
+
+def _best_of(callable_, repetitions: int) -> float:
+    best = float("inf")
+    for _ in range(repetitions):
+        started = time.perf_counter()
+        callable_()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+@pytest.fixture(scope="module")
+def cell():
+    return random_regular(N, DEGREE, seed=4)
+
+
+def bench_backend_matrix(benchmark, cell):
+    """Per-backend throughput plus the cross-backend bit-identity bar."""
+
+    def measure() -> dict:
+        matrix: dict = {
+            "quick": BENCH_QUICK,
+            "n": N,
+            "degree": DEGREE,
+            "cobra_replicas": COBRA_REPLICAS,
+            "bips_replicas": BIPS_REPLICAS,
+            "backends": {},
+            "skipped": {},
+        }
+        for spec in OPTIONAL_BACKENDS:
+            try:
+                importlib.import_module(spec)
+            except ImportError as error:
+                matrix["skipped"][spec] = f"not installed ({error.__class__.__name__})"
+
+        def cobra(spec: str) -> np.ndarray:
+            return batch_cobra_cover_times(
+                cell, 0, n_replicas=COBRA_REPLICAS, seed=0, jobs=1,
+                shard_size=SHARD, backend=spec,
+            )
+
+        def bips(spec: str) -> np.ndarray:
+            return batch_bips_infection_times(
+                cell, 0, n_replicas=BIPS_REPLICAS, seed=1, jobs=1,
+                shard_size=SHARD, backend=spec,
+            )
+
+        reference_cobra = cobra("numpy")
+        reference_bips = bips("numpy")
+        for spec in available_backends():
+            resolve_backend(spec)  # fail fast on a broken spec
+            # Determinism bar: host-drawn randomness makes every
+            # deterministic backend bit-identical to the reference.
+            assert np.array_equal(cobra(spec), reference_cobra), (
+                f"backend {spec!r} broke the cross-backend seed contract (COBRA)"
+            )
+            assert np.array_equal(bips(spec), reference_bips), (
+                f"backend {spec!r} broke the cross-backend seed contract (BIPS)"
+            )
+            cobra_seconds = _best_of(lambda: cobra(spec), REPETITIONS)
+            bips_seconds = _best_of(lambda: bips(spec), REPETITIONS)
+            matrix["backends"][spec] = {
+                "cobra_seconds": round(cobra_seconds, 5),
+                "cobra_replicas_per_second": round(COBRA_REPLICAS / cobra_seconds, 1),
+                "bips_seconds": round(bips_seconds, 5),
+                "bips_replicas_per_second": round(BIPS_REPLICAS / bips_seconds, 1),
+            }
+        numpy_row = matrix["backends"]["numpy"]
+        for spec, row in matrix["backends"].items():
+            row["cobra_vs_numpy"] = round(
+                numpy_row["cobra_seconds"] / row["cobra_seconds"], 2
+            )
+            row["bips_vs_numpy"] = round(
+                numpy_row["bips_seconds"] / row["bips_seconds"], 2
+            )
+        matrix["determinism"] = (
+            "all available backends bit-identical to numpy (times, fixed seed)"
+        )
+        return matrix
+
+    matrix = benchmark.pedantic(measure, rounds=1, iterations=1)
+    OUT_PATH.parent.mkdir(parents=True, exist_ok=True)
+    OUT_PATH.write_text(json.dumps(matrix, indent=2, sort_keys=True) + "\n")
+    for key, value in matrix.items():
+        benchmark.extra_info[key] = value

@@ -24,7 +24,8 @@ Quickstart::
     print(result.completion_time)   # O(log n) rounds on an expander
 """
 
-from repro import analysis, cache, core, exact, experiments, graphs, parallel, theory
+from repro import analysis, backends, cache, core, exact, experiments, graphs, parallel, theory
+from repro.backends import Backend, resolve_backend, set_default_backend
 from repro.cache import ResultCache
 from repro.core import (
     BipsProcess,
@@ -42,14 +43,17 @@ from repro.core import (
     sample_completion_times,
 )
 from repro.errors import (
+    BackendError,
     CacheError,
     CoverTimeoutError,
     ExactEngineError,
     ExperimentError,
     GraphConstructionError,
     GraphPropertyError,
+    InfectionTimeoutError,
     ParallelError,
     ProcessError,
+    ProcessTimeoutError,
     ReproError,
 )
 from repro.graphs import Graph
@@ -67,6 +71,11 @@ __all__ = [
     "experiments",
     "parallel",
     "cache",
+    "backends",
+    # backends
+    "Backend",
+    "resolve_backend",
+    "set_default_backend",
     # caching
     "ResultCache",
     # core types
@@ -89,9 +98,12 @@ __all__ = [
     "GraphConstructionError",
     "GraphPropertyError",
     "ProcessError",
+    "ProcessTimeoutError",
     "CoverTimeoutError",
+    "InfectionTimeoutError",
     "ExactEngineError",
     "ExperimentError",
     "ParallelError",
+    "BackendError",
     "CacheError",
 ]

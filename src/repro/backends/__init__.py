@@ -1,0 +1,216 @@
+"""Pluggable array backends for the batch ensemble engines.
+
+The v2 batch kernels in :mod:`repro.core.batch` evolve ``(R, n)``
+boolean matrices with a small, fixed vocabulary of array operations —
+``take``-style flat gathers, ``any``/``sum`` reductions along the last
+axis, flat boolean scatters, ``cumsum``, and uniform RNG draws.  This
+package abstracts exactly that vocabulary behind the :class:`Backend`
+protocol so the same kernels run on any array library that provides
+it:
+
+* :class:`~repro.backends.numpy_backend.NumpyBackend` — the default.
+  Every operation is the literal NumPy call the kernels made before
+  the abstraction existed (including the ``out=`` in-place forms), so
+  results are **bit-identical** to the pre-backend engines and the
+  allocation-lean property is preserved.
+* :class:`~repro.backends.array_api.ArrayApiBackend` — a generic
+  implementation over any array-API-compatible namespace (NumPy 2.x
+  itself, CuPy, or anything wrapped by ``array_api_compat``).  GPU
+  namespaces are gated on import: requesting ``"cupy"`` on a machine
+  without CuPy raises a clear :class:`~repro.errors.BackendError`
+  instead of an ImportError at kernel depth.
+
+**The seed contract survives the backend choice.**  All randomness is
+drawn from the host NumPy ``Generator`` (via the shared
+:func:`~repro.graphs.base.uniform_draws` bit-slicing path) and then
+transferred to the device, so for a fixed seed and shard size every
+backend consumes the identical random stream.  Deterministic backends
+therefore produce bit-identical *results*, not merely equal
+distributions — the parity tests assert this for the array-API backend
+over the NumPy namespace.
+
+Backend selection mirrors the ``jobs`` convention in
+:mod:`repro.parallel`: every batch entry point takes ``backend=``
+(``None`` = the process-wide default, a spec string, or a
+:class:`Backend` instance), the CLI exposes ``--backend``, and the
+``REPRO_BACKEND`` environment variable seeds the process-wide default.
+Backends pickle as their spec string, so shipping one to a spawn
+worker re-resolves it locally instead of serialising device state.
+"""
+
+from __future__ import annotations
+
+import importlib
+import os
+
+from repro.errors import BackendError
+from repro.backends.base import Backend
+from repro.backends.numpy_backend import NumpyBackend
+
+__all__ = [
+    "Backend",
+    "NumpyBackend",
+    "available_backends",
+    "default_backend",
+    "resolve_backend",
+    "set_default_backend",
+]
+
+#: Spec string of the process-wide default backend.  Seeded from the
+#: ``REPRO_BACKEND`` environment variable so CI can run the whole batch
+#: suite through an alternate backend without touching call sites.
+_default_spec: str = os.environ.get("REPRO_BACKEND", "numpy")
+
+#: Resolved backends, keyed by spec string.  Backends are stateless
+#: apart from small device-side caches (e.g. graph indices), so one
+#: instance per spec per process is both safe and what keeps those
+#: caches effective.
+_resolved: dict[str, Backend] = {}
+
+
+def _build_backend(spec: str) -> Backend:
+    """Construct the backend a spec string names (uncached)."""
+    from repro.backends.array_api import ArrayApiBackend
+
+    if spec == "numpy":
+        return NumpyBackend()
+    if spec == "cupy":
+        try:
+            cupy = importlib.import_module("cupy")
+        except ImportError as error:
+            raise BackendError(
+                "backend 'cupy' requested but CuPy is not installed "
+                f"({error}); install cupy or use backend='numpy'"
+            ) from None
+        return ArrayApiBackend(cupy, spec="cupy")
+    if spec.startswith("array-api:"):
+        module_name = spec.partition(":")[2]
+        if not module_name:
+            raise BackendError(
+                "backend spec 'array-api:' needs a module name, "
+                "e.g. 'array-api:numpy'"
+            )
+        try:
+            namespace = importlib.import_module(module_name)
+        except ImportError as error:
+            raise BackendError(
+                f"backend {spec!r} requested but {module_name!r} is not "
+                f"importable ({error})"
+            ) from None
+        return ArrayApiBackend(namespace, spec=spec)
+    raise BackendError(
+        f"unknown backend {spec!r}; expected 'numpy', 'cupy', "
+        "'array-api:<module>', or a Backend instance"
+    )
+
+
+def resolve_backend(backend: "str | Backend | None" = None) -> Backend:
+    """Normalise a ``backend`` argument to a :class:`Backend` instance.
+
+    ``None`` resolves to the process-wide default (see
+    :func:`set_default_backend`), a string is treated as a spec
+    (``"numpy"``, ``"cupy"``, ``"array-api:<module>"``), and an
+    existing :class:`Backend` is returned unchanged.  Resolved
+    backends are cached per spec, so repeated resolution is free and
+    device-side caches are shared across calls.
+    """
+    if backend is None:
+        backend = _default_spec
+    if isinstance(backend, Backend):
+        return backend
+    if not isinstance(backend, str):
+        raise BackendError(
+            f"backend must be a spec string, a Backend, or None; "
+            f"got {type(backend).__name__}"
+        )
+    if backend not in _resolved:
+        _resolved[backend] = _build_backend(backend)
+    return _resolved[backend]
+
+
+def default_backend() -> Backend:
+    """The backend used when ``backend=None`` is passed (or defaulted)."""
+    return resolve_backend(_default_spec)
+
+
+def default_backend_spec() -> str:
+    """The current default's spec string, *without* resolving it.
+
+    Unlike :func:`default_backend` this never validates: the default
+    may carry an unvalidated ``REPRO_BACKEND`` value that only fails at
+    first use.  Campaign workers use this to inherit the parent's
+    default across ``spawn`` (worker processes re-import the package,
+    re-seeding the default from the environment, so the parent's
+    ``--backend`` choice must travel in the worker context like
+    ``jobs`` and ``cache_dir`` do).
+    """
+    return _default_spec
+
+
+def set_default_backend(backend: "str | Backend", *, validate: bool = True) -> str:
+    """Set the process-wide default backend; returns the previous spec.
+
+    The CLI's global ``--backend`` flag calls this once at startup so
+    every ensemble measured by an experiment inherits the setting,
+    exactly like ``--jobs`` and :func:`repro.parallel.set_default_jobs`.
+    The spec is validated (and the backend constructed) eagerly so a
+    typo or missing GPU library fails at the flag, not mid-experiment.
+
+    ``validate=False`` stores a spec string without resolving it.  The
+    returned *previous* spec may never have been validated (it can come
+    straight from the ``REPRO_BACKEND`` environment variable), so
+    restore-style callers must use this mode — re-validating an
+    inherited-but-broken spec on the way *out* would turn a successful
+    command into a crash.  An unvalidated default still fails with the
+    same clear error at first use.
+    """
+    global _default_spec
+    previous = _default_spec
+    if isinstance(backend, Backend):
+        # Setting an *instance* as the default registers it under its
+        # spec so ``resolve_backend(None)`` returns it.  A spec that
+        # already names a different implementation is refused (the
+        # same mismatch ``Backend.__reduce__`` guards against): the
+        # cached backend would otherwise silently win and the caller's
+        # instance would never be used.
+        cached = _resolved.get(backend.spec)
+        if cached is not None and type(cached) is not type(backend):
+            raise BackendError(
+                f"backend instance of type {type(backend).__name__} carries "
+                f"spec {backend.spec!r}, which already names a "
+                f"{type(cached).__name__}; give the custom backend a unique "
+                "spec"
+            )
+        _resolved[backend.spec] = backend
+        _default_spec = backend.spec
+        return previous
+    if validate:
+        resolved = resolve_backend(backend)
+        _default_spec = resolved.spec
+        _resolved.setdefault(resolved.spec, resolved)
+    else:
+        if not isinstance(backend, str):
+            raise BackendError(
+                f"backend must be a spec string or a Backend, "
+                f"got {type(backend).__name__}"
+            )
+        _default_spec = backend
+    return previous
+
+
+def available_backends() -> list[str]:
+    """Spec strings of the backends importable in this environment.
+
+    Always contains ``"numpy"`` and ``"array-api:numpy"`` (NumPy 2.x is
+    its own array-API namespace); ``"cupy"`` appears only when CuPy is
+    installed.  Used by the backend benchmark and the CI matrix to skip
+    gracefully instead of failing on machines without a GPU stack.
+    """
+    specs = ["numpy", "array-api:numpy"]
+    for optional in ("cupy",):
+        try:
+            importlib.import_module(optional)
+        except ImportError:
+            continue
+        specs.append(optional)
+    return specs

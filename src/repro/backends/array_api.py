@@ -1,0 +1,176 @@
+"""Generic backend over an array-API-compatible namespace.
+
+Targets namespaces that implement the array API standard *plus* the
+mutable extensions NumPy and CuPy share (fancy-index ``__setitem__``,
+in-place operators on views, view-semantics reshape of contiguous
+arrays) — see :mod:`repro.backends.base` for the exact contract.
+NumPy 2.x itself qualifies, which is what the CI smoke path runs; CuPy
+is the intended GPU target and resolves through the same class.
+
+Operations that take ``out=`` are computed functionally and then
+copied into ``out`` when one is given, so the kernels' aliasing
+assumptions (writing through a flat view updates the parent buffer)
+hold on every conforming namespace at the cost of one temporary per
+call.  RNG draws happen on the host generator and transfer via
+``asarray``, preserving the cross-backend seed contract.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.backends.base import Backend
+from repro.errors import BackendError
+
+
+def _dtype_of(namespace: Any, name: str) -> Any:
+    for attribute in (name, name + "_"):
+        dtype = getattr(namespace, attribute, None)
+        if dtype is not None:
+            return dtype
+    raise BackendError(
+        f"array namespace {namespace.__name__!r} exposes no {name!r} dtype"
+    )
+
+
+class ArrayApiBackend(Backend):
+    """Backend over any mutable array-API namespace (NumPy 2.x, CuPy)."""
+
+    is_numpy = False
+
+    def __init__(self, namespace: Any, *, spec: str | None = None) -> None:
+        super().__init__()
+        for required in ("asarray", "zeros", "take", "any", "reshape", "nonzero"):
+            if not hasattr(namespace, required):
+                raise BackendError(
+                    f"{getattr(namespace, '__name__', namespace)!r} is not an "
+                    f"array-API namespace (missing {required!r})"
+                )
+        self._xp = namespace
+        self.spec = spec or f"array-api:{namespace.__name__}"
+        self._bool = _dtype_of(namespace, "bool")
+        self._int64 = _dtype_of(namespace, "int64")
+
+    def _dtype(self, name: str) -> Any:
+        return self._bool if name == "bool" else self._int64
+
+    # -- transport -----------------------------------------------------
+
+    def asarray(self, array: Any, dtype: str | None = None) -> Any:
+        return self._xp.asarray(array, dtype=self._dtype(dtype) if dtype else None)
+
+    def to_numpy(self, array: Any) -> np.ndarray:
+        if hasattr(array, "get"):  # CuPy device arrays
+            return np.asarray(array.get())
+        return np.asarray(array)
+
+    # -- creation ------------------------------------------------------
+
+    def zeros(self, shape: Any, dtype: str) -> Any:
+        return self._xp.zeros(shape, dtype=self._dtype(dtype))
+
+    def empty(self, shape: Any, dtype: str) -> Any:
+        return self._xp.empty(shape, dtype=self._dtype(dtype))
+
+    def full(self, shape: Any, value: Any, dtype: str) -> Any:
+        return self._xp.full(shape, value, dtype=self._dtype(dtype))
+
+    def arange(self, stop: int) -> Any:
+        return self._xp.arange(stop, dtype=self._int64)
+
+    def tile(self, array: Any, reps: int) -> Any:
+        return self._xp.tile(array, (reps,))
+
+    def repeat(self, array: Any, reps: int) -> Any:
+        return self._xp.repeat(array, reps)
+
+    # -- shape ---------------------------------------------------------
+
+    def ravel(self, array: Any) -> Any:
+        # View-semantics reshape on contiguous buffers is part of the
+        # backend contract; kernels write through the result.
+        return self._xp.reshape(array, (-1,))
+
+    # -- gather / scatter ----------------------------------------------
+
+    def take(self, array: Any, indices: Any, out: Any = None) -> Any:
+        # The standard's ``take`` is 1-D-indices only: flatten, gather,
+        # restore the index shape.
+        gathered = self._xp.take(array, self._xp.reshape(indices, (-1,)))
+        gathered = self._xp.reshape(gathered, indices.shape)
+        if out is not None:
+            out[...] = gathered
+            return out
+        return gathered
+
+    def put_true(self, flat: Any, indices: Any) -> Any:
+        flat[indices] = True
+        return flat
+
+    def or_at(self, flat: Any, indices: Any, values: Any) -> Any:
+        flat[indices] |= values
+        return flat
+
+    def fill_false(self, array: Any) -> Any:
+        array[...] = False
+        return array
+
+    # -- reductions / elementwise --------------------------------------
+
+    def any_along_last(self, array: Any, out: Any = None) -> Any:
+        result = self._xp.any(array, axis=-1)
+        if out is not None:
+            out[...] = result
+            return out
+        return result
+
+    def sum_along_last(self, array: Any, out: Any = None) -> Any:
+        result = self._xp.sum(array, axis=-1, dtype=self._int64)
+        if out is not None:
+            out[...] = result
+            return out
+        return result
+
+    def greater(self, a: Any, b: Any, out: Any = None) -> Any:
+        result = a > b
+        if out is not None:
+            out[...] = result
+            return out
+        return result
+
+    def cumsum(self, array: Any, axis: int) -> Any:
+        cumulative = getattr(self._xp, "cumulative_sum", None)
+        if cumulative is not None:
+            return cumulative(array, axis=axis)
+        return self._xp.cumsum(array, axis=axis)
+
+    def max_scalar(self, array: Any) -> int:
+        return int(self._xp.max(array))
+
+    def any_scalar(self, array: Any) -> bool:
+        return bool(self._xp.any(array))
+
+    def flatnonzero(self, array: Any) -> Any:
+        return self._xp.nonzero(self._xp.reshape(array, (-1,)))[0]
+
+    def bincount(self, array: Any, minlength: int) -> Any:
+        native = getattr(self._xp, "bincount", None)
+        if native is not None:
+            return native(array, minlength=minlength)
+        # Minimal namespaces: count on the host, transfer back.
+        counts = np.bincount(self.to_numpy(array), minlength=minlength)
+        return self.asarray(counts, dtype="int64")
+
+    # -- randomness (host-drawn) ---------------------------------------
+
+    def random(self, rng: np.random.Generator, count: int) -> Any:
+        return self._xp.asarray(rng.random(count))
+
+    def uniform_draws(
+        self, rng: np.random.Generator, bound: int, count: int, width: int
+    ) -> Any:
+        from repro.graphs.base import uniform_draws
+
+        return self._xp.asarray(uniform_draws(rng, bound, count, width))

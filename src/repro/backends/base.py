@@ -1,0 +1,249 @@
+"""The :class:`Backend` protocol: the array vocabulary of the batch kernels.
+
+A backend supplies exactly the operations the v2 batch kernels (and
+the regular-degree ``sample_neighbors`` fast path) perform per round:
+buffer creation, flat gathers, last-axis reductions, flat boolean
+scatters, ``cumsum``, and RNG draws.  Everything else the kernels do —
+basic slicing, boolean-mask compaction, in-place logical updates —
+happens through the arrays' own operators, so a conforming backend's
+arrays must support:
+
+* basic-indexing ``__setitem__`` (slices, integers, ``...``);
+* integer-array and boolean-mask ``__getitem__`` / ``__setitem__``;
+* elementwise arithmetic, comparison, and bitwise operators
+  (including the in-place forms ``|=`` / ``+=`` on views);
+* view-semantics reshape on contiguous arrays (``ravel`` must return
+  a writable view sharing the source's memory).
+
+NumPy, CuPy, and PyTorch tensors all satisfy these; strictly-minimal
+array-API namespaces (``array_api_strict``) do not, which is why the
+generic implementation is documented as requiring the mutable
+extensions rather than the bare standard.
+
+Randomness is deliberately **not** abstracted to the device: both RNG
+hooks draw from the host NumPy generator and transfer, which is what
+keeps results bit-identical across backends for a fixed seed (see the
+package docstring).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.graphs.base import Graph
+
+#: How many graphs' device-side index arrays a backend keeps cached.
+#: Kernels resolve the same graph once per shard per round-loop, so a
+#: tiny cache amortises the host-to-device copy across an entire
+#: ensemble; the bound keeps long sweeps over many graphs from pinning
+#: device memory.
+_GRAPH_CACHE_SIZE = 4
+
+
+class Backend(ABC):
+    """Abstract array backend behind the batch ensemble kernels.
+
+    Subclasses implement the operation vocabulary below; the base
+    class provides spec-based pickling (workers re-resolve the backend
+    locally rather than serialising device state) and the per-backend
+    cache of device-resident graph index arrays.
+
+    ``dtype`` arguments are the strings ``"bool"`` or ``"int64"``;
+    backends map them to their native dtype objects.  Operations with
+    an ``out=`` parameter must *return* the result; in-place-capable
+    backends write through ``out`` and return it, pure-functional ones
+    ignore ``out`` and return a fresh array — kernels always bind the
+    returned value, so both behaviours compose.
+    """
+
+    #: Spec string that re-resolves to an equivalent backend
+    #: (``"numpy"``, ``"cupy"``, ``"array-api:<module>"``).
+    spec: str = "numpy"
+
+    #: True only for the NumPy reference backend; the graph sampling
+    #: fast path keeps its original zero-indirection code on this flag.
+    is_numpy: bool = False
+
+    def __init__(self) -> None:
+        self._graph_cache: dict[int, tuple[Any, Any]] = {}
+
+    # -- identity / transport ------------------------------------------
+
+    @property
+    def name(self) -> str:
+        """Human-readable backend name (the spec string)."""
+        return self.spec
+
+    def __reduce__(self):
+        # Backends ship to pool workers as their spec string and
+        # re-resolve locally.  That only round-trips faithfully when
+        # the spec actually names *this* implementation — a custom
+        # subclass that inherited the default spec would silently come
+        # back as the NumPy reference in every worker, so refuse to
+        # pickle rather than swap backends behind the caller's back.
+        from repro.backends import resolve_backend
+        from repro.errors import BackendError
+
+        try:
+            resolved = resolve_backend(self.spec)
+        except Exception as error:
+            raise BackendError(
+                f"backend {type(self).__name__}({self.spec!r}) cannot be "
+                f"shipped to worker processes: its spec does not re-resolve "
+                f"({error}); give it a resolvable spec or run with jobs=1"
+            ) from None
+        if type(resolved) is not type(self):
+            raise BackendError(
+                f"backend {type(self).__name__} pickles by spec, but "
+                f"{self.spec!r} re-resolves to {type(resolved).__name__}; "
+                "override `spec` with a value that names this backend or "
+                "run with jobs=1"
+            )
+        return (resolve_backend, (self.spec,))
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.spec!r})"
+
+    @abstractmethod
+    def asarray(self, array: Any, dtype: str | None = None) -> Any:
+        """Device array for host data (no copy when already resident)."""
+
+    @abstractmethod
+    def to_numpy(self, array: Any) -> np.ndarray:
+        """Host ``numpy.ndarray`` view/copy of a device array."""
+
+    # -- creation ------------------------------------------------------
+
+    @abstractmethod
+    def zeros(self, shape: Any, dtype: str) -> Any:
+        """Zero-filled array."""
+
+    @abstractmethod
+    def empty(self, shape: Any, dtype: str) -> Any:
+        """Uninitialised (or zero-filled, for functional backends) array."""
+
+    @abstractmethod
+    def full(self, shape: Any, value: Any, dtype: str) -> Any:
+        """Constant-filled array."""
+
+    @abstractmethod
+    def arange(self, stop: int) -> Any:
+        """``[0, stop)`` as int64."""
+
+    @abstractmethod
+    def tile(self, array: Any, reps: int) -> Any:
+        """``reps`` concatenated copies of a 1-D array."""
+
+    @abstractmethod
+    def repeat(self, array: Any, reps: int) -> Any:
+        """Each element of a 1-D array repeated ``reps`` times."""
+
+    # -- shape / counting ----------------------------------------------
+
+    @abstractmethod
+    def ravel(self, array: Any) -> Any:
+        """Flat **view** of a contiguous array (must share memory)."""
+
+    def size(self, array: Any) -> int:
+        """Total number of elements (namespace-agnostic)."""
+        total = 1
+        for extent in array.shape:
+            total *= int(extent)
+        return total
+
+    # -- gather / scatter ----------------------------------------------
+
+    @abstractmethod
+    def take(self, array: Any, indices: Any, out: Any = None) -> Any:
+        """Flat gather ``array[indices]`` for indices of any shape."""
+
+    @abstractmethod
+    def put_true(self, flat: Any, indices: Any) -> Any:
+        """Flat boolean scatter ``flat[indices] = True``; returns ``flat``."""
+
+    @abstractmethod
+    def or_at(self, flat: Any, indices: Any, values: Any) -> Any:
+        """``flat[indices] |= values`` for unique indices; returns ``flat``."""
+
+    @abstractmethod
+    def fill_false(self, array: Any) -> Any:
+        """Reset a boolean buffer to all-False; returns the buffer."""
+
+    # -- reductions / elementwise --------------------------------------
+
+    @abstractmethod
+    def any_along_last(self, array: Any, out: Any = None) -> Any:
+        """Boolean ``any`` over the trailing axis."""
+
+    @abstractmethod
+    def sum_along_last(self, array: Any, out: Any = None) -> Any:
+        """Int64 sum over the trailing axis."""
+
+    @abstractmethod
+    def greater(self, a: Any, b: Any, out: Any = None) -> Any:
+        """Elementwise ``a > b`` (bool)."""
+
+    @abstractmethod
+    def cumsum(self, array: Any, axis: int) -> Any:
+        """Cumulative sum along ``axis``.
+
+        Consumed by the trace-aggregation path
+        (:meth:`~repro.core.batch.BatchTraces.cumulative_counts`)
+        rather than the round loop.
+        """
+
+    @abstractmethod
+    def max_scalar(self, array: Any) -> int:
+        """Largest element as a host ``int``."""
+
+    @abstractmethod
+    def any_scalar(self, array: Any) -> bool:
+        """Whether any element is truthy, as a host ``bool``."""
+
+    @abstractmethod
+    def flatnonzero(self, array: Any) -> Any:
+        """Indices of nonzero elements of the flattened array (int64)."""
+
+    @abstractmethod
+    def bincount(self, array: Any, minlength: int) -> Any:
+        """Occurrence counts of non-negative ints, padded to ``minlength``."""
+
+    # -- randomness (host-drawn: the seed contract) --------------------
+
+    @abstractmethod
+    def random(self, rng: np.random.Generator, count: int) -> Any:
+        """``count`` uniform floats in ``[0, 1)`` drawn from the host rng."""
+
+    @abstractmethod
+    def uniform_draws(
+        self, rng: np.random.Generator, bound: int, count: int, width: int
+    ) -> Any:
+        """``(count, width)`` host-drawn uniform int64 draws in ``[0, bound)``.
+
+        Must consume the host generator exactly like
+        :func:`repro.graphs.base.uniform_draws`, so every backend sees
+        the same stream for the same seed.
+        """
+
+    # -- graph residency -----------------------------------------------
+
+    def graph_indices(self, graph: "Graph") -> Any:
+        """Device-resident copy of ``graph.indices``, cached per graph.
+
+        The cache is keyed by object identity and bounded (FIFO, size
+        :data:`_GRAPH_CACHE_SIZE`); entries hold a reference to the
+        graph so an id is never reused while its row is alive.
+        """
+        key = id(graph)
+        hit = self._graph_cache.get(key)
+        if hit is not None and hit[0] is graph:
+            return hit[1]
+        device = self.asarray(graph.indices)
+        if len(self._graph_cache) >= _GRAPH_CACHE_SIZE:
+            self._graph_cache.pop(next(iter(self._graph_cache)))
+        self._graph_cache[key] = (graph, device)
+        return device

@@ -1,0 +1,113 @@
+"""The default NumPy backend: the kernels' original ops, verbatim.
+
+Every method is the literal NumPy call the batch kernels performed
+before the backend abstraction existed — including the ``out=``
+in-place forms and the shared bit-slicing
+:func:`~repro.graphs.base.uniform_draws` — so engines running on this
+backend are bit-identical to the pre-backend implementation at every
+``jobs`` count (asserted by the golden parity tests) and keep their
+allocation-lean property.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.backends.base import Backend
+
+_DTYPES = {"bool": np.bool_, "int64": np.int64}
+
+
+class NumpyBackend(Backend):
+    """Reference backend over host NumPy arrays (the default)."""
+
+    spec = "numpy"
+    is_numpy = True
+
+    def asarray(self, array: Any, dtype: str | None = None) -> np.ndarray:
+        return np.asarray(array, dtype=_DTYPES[dtype] if dtype else None)
+
+    def to_numpy(self, array: Any) -> np.ndarray:
+        return np.asarray(array)
+
+    def zeros(self, shape: Any, dtype: str) -> np.ndarray:
+        return np.zeros(shape, dtype=_DTYPES[dtype])
+
+    def empty(self, shape: Any, dtype: str) -> np.ndarray:
+        return np.empty(shape, dtype=_DTYPES[dtype])
+
+    def full(self, shape: Any, value: Any, dtype: str) -> np.ndarray:
+        return np.full(shape, value, dtype=_DTYPES[dtype])
+
+    def arange(self, stop: int) -> np.ndarray:
+        return np.arange(stop, dtype=np.int64)
+
+    def tile(self, array: Any, reps: int) -> np.ndarray:
+        return np.tile(array, reps)
+
+    def repeat(self, array: Any, reps: int) -> np.ndarray:
+        return np.repeat(array, reps)
+
+    def ravel(self, array: np.ndarray) -> np.ndarray:
+        return array.ravel()
+
+    def take(self, array: np.ndarray, indices: Any, out: Any = None) -> np.ndarray:
+        if out is not None:
+            np.take(array, indices, out=out)
+            return out
+        return array[indices]
+
+    def put_true(self, flat: np.ndarray, indices: Any) -> np.ndarray:
+        flat[indices] = True
+        return flat
+
+    def or_at(self, flat: np.ndarray, indices: Any, values: Any) -> np.ndarray:
+        flat[indices] |= values
+        return flat
+
+    def fill_false(self, array: np.ndarray) -> np.ndarray:
+        array[...] = False
+        return array
+
+    def any_along_last(self, array: np.ndarray, out: Any = None) -> np.ndarray:
+        return np.any(array, axis=-1, out=out)
+
+    def sum_along_last(self, array: np.ndarray, out: Any = None) -> np.ndarray:
+        if out is not None:
+            np.sum(array, axis=-1, out=out)
+            return out
+        return array.sum(axis=-1)
+
+    def greater(self, a: Any, b: Any, out: Any = None) -> np.ndarray:
+        return np.greater(a, b, out=out)
+
+    def cumsum(self, array: Any, axis: int) -> np.ndarray:
+        return np.cumsum(array, axis=axis)
+
+    def max_scalar(self, array: np.ndarray) -> int:
+        return int(array.max())
+
+    def any_scalar(self, array: np.ndarray) -> bool:
+        return bool(array.any())
+
+    def flatnonzero(self, array: np.ndarray) -> np.ndarray:
+        return np.flatnonzero(array)
+
+    def bincount(self, array: np.ndarray, minlength: int) -> np.ndarray:
+        return np.bincount(array, minlength=minlength)
+
+    def random(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        return rng.random(count)
+
+    def uniform_draws(
+        self, rng: np.random.Generator, bound: int, count: int, width: int
+    ) -> np.ndarray:
+        from repro.graphs.base import uniform_draws
+
+        return uniform_draws(rng, bound, count, width)
+
+    def graph_indices(self, graph: Any) -> np.ndarray:
+        # Host arrays are already "resident": no copy, no cache entry.
+        return graph.indices

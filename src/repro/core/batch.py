@@ -42,6 +42,16 @@ the shards run inline (``jobs=1``) or across a process pool
 (``jobs>1``).  When the pool would *spawn* workers (no ``fork``), the
 graph ships once through a :class:`~repro.parallel.SharedGraph`
 segment and reattaches zero-copy in each worker.
+
+The kernels run against the :class:`~repro.backends.Backend` protocol
+(``backend=`` on every entry point): the default NumPy backend keeps
+the original in-place ops verbatim — bit-identical to the pre-backend
+engines at every ``jobs`` count — while the array-API backend runs the
+same kernels on any conforming namespace (CuPy for GPUs).  Randomness
+is always drawn on the host generator, so a fixed seed produces
+bit-identical results on every deterministic backend, and the replica
+bookkeeping (completion times, replica ids, trace matrices) stays on
+the host regardless of where the ``(R, n)`` evolution happens.
 """
 
 from __future__ import annotations
@@ -51,12 +61,13 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro._rng import SeedLike, ensure_generator, spawn_seed_sequences
+from repro.backends import Backend, resolve_backend
 from repro.core.process import (
     resolve_vertex,
     validate_branching,
 )
 from repro.core.runner import default_max_rounds
-from repro.errors import CoverTimeoutError
+from repro.errors import BackendError, CoverTimeoutError, InfectionTimeoutError
 from repro.graphs.base import Graph
 from repro.parallel import (
     SharedGraph,
@@ -76,6 +87,24 @@ class BatchTraces:
     ``t`` describes round ``t + 1``.  A replica's columns beyond its
     completion round are zero (nothing happens after completion), so
     row sums and row maxima are meaningful without masking.
+
+    **Timeout contract.**  Under ``raise_on_timeout=False`` a replica
+    that never completes is reported with ``completion_times == -1``
+    and its row stays *fully populated* through every recorded round —
+    a timed-out replica keeps evolving until ``max_rounds``, so unlike
+    a completed replica it has no trailing zero columns.  The
+    aggregate helpers (:meth:`total_transmissions`,
+    :meth:`peak_transmissions`, :meth:`cumulative_counts`) therefore
+    include timed-out rows *as observed up to the round cap*: totals
+    are truncated at ``max_rounds`` and peaks are over the observed
+    rounds.  For COBRA a timed-out row's cumulative count stays below
+    ``n`` (coverage is monotone and is the completion criterion); for
+    BIPS the completion criterion is *simultaneous* full infection, so
+    a timed-out row never shows ``n`` in ``active_counts`` but its
+    cumulative (ever-infected) count may still reach ``n``.  This is
+    deliberate — the rows describe what the truncated run did, not an
+    estimate of a complete run.  Callers comparing against completed
+    runs should filter with :meth:`completed_mask`.
 
     Attributes
     ----------
@@ -115,16 +144,44 @@ class BatchTraces:
         """Number of recorded rounds ``T`` (columns)."""
         return int(self.active_counts.shape[1])
 
+    def completed_mask(self) -> np.ndarray:
+        """``(R,)`` boolean mask of replicas that reached their goal.
+
+        ``False`` rows timed out (``completion_times == -1``; only
+        possible under ``raise_on_timeout=False``) and carry truncated
+        curves — see the class docstring's timeout contract.
+        """
+        return self.completion_times >= 0
+
     def cumulative_counts(self) -> np.ndarray:
-        """``(R, T)`` covered/infected totals after each round."""
-        return self.initial_cumulative + np.cumsum(self.newly_counts, axis=1)
+        """``(R, T)`` covered/ever-infected totals after each round.
+
+        A timed-out COBRA row plateaus below ``n``; a timed-out BIPS
+        row may still reach ``n`` here while never completing, because
+        completion requires all vertices *simultaneously* infected
+        (timeout contract above).
+        """
+        # Trace matrices are host-resident whatever backend evolved the
+        # state, so the aggregation runs the reference backend's cumsum
+        # — the one protocol op the trace path (not the round loop)
+        # consumes.
+        xp = resolve_backend("numpy")
+        return self.initial_cumulative + xp.cumsum(self.newly_counts, axis=1)
 
     def total_transmissions(self) -> np.ndarray:
-        """``(R,)`` messages summed over each replica's whole run."""
+        """``(R,)`` messages summed over each replica's whole run.
+
+        For a timed-out row this is the total over the rounds actually
+        run (truncated at ``max_rounds``), a *lower bound* on what a
+        completed run would have sent.
+        """
         return self.transmissions.sum(axis=1)
 
     def peak_transmissions(self) -> np.ndarray:
-        """``(R,)`` largest per-round message count of each replica."""
+        """``(R,)`` largest per-round message count of each replica.
+
+        Timed-out rows contribute the peak over their observed rounds.
+        """
         return self.transmissions.max(axis=1)
 
     def active_trajectory(self, replica: int) -> np.ndarray:
@@ -146,7 +203,11 @@ class _ShardTraceRecorder:
     The kernels hand in live-block vectors (one entry per *unfinished*
     replica); the recorder scatters them into fixed ``(R, capacity)``
     matrices, doubling the round capacity as needed, so recording adds
-    no per-round allocation in the steady state.
+    no per-round allocation in the steady state.  Recording is a
+    host-side concern: kernels transfer their per-round count vectors
+    with :meth:`~repro.backends.Backend.to_numpy` (free on the NumPy
+    backend), so trace matrices are ordinary host arrays whatever
+    backend evolved the state.
     """
 
     def __init__(self, n_replicas: int) -> None:
@@ -192,9 +253,14 @@ def _cobra_shard(
     """One shard of COBRA replicas; ``-1`` marks a timeout.
 
     Returns the cover times, or ``(times, active, newly,
-    transmissions)`` matrices when tracing is requested.
+    transmissions)`` matrices when tracing is requested.  All array
+    work flows through the shipped backend; completion times and
+    replica-id bookkeeping stay host-side.
     """
-    graph, start, mandatory, rho, max_rounds, include_start_in_cover, record = context
+    graph, start, mandatory, rho, max_rounds, include_start_in_cover, record, backend = (
+        context
+    )
+    xp = resolve_backend(backend)
     graph = resolve_shared_graph(graph)
     n_replicas = stop_index - start_index
     rng = ensure_generator(seed)
@@ -208,64 +274,68 @@ def _cobra_shard(
     # Row i of every buffer belongs to replica ``replica_ids[i]``; rows
     # of finished replicas are compacted away, so ``[:live]`` is always
     # the whole unfinished population and nothing else.
-    active = np.zeros((n_replicas, stride), dtype=bool)
+    active = xp.zeros((n_replicas, stride), "bool")
     active[:, start] = True
-    covered = np.zeros((n_replicas, stride), dtype=bool)
+    covered = xp.zeros((n_replicas, stride), "bool")
     if include_start_in_cover:
         covered[:, start] = True
     # Scratch for the per-round counts; fully recomputed from
     # ``covered`` before every read, so no initial fill is needed.
-    covered_counts = np.empty(n_replicas, dtype=np.int64)
+    covered_counts = xp.empty(n_replicas, "int64")
     cover_times = np.full(n_replicas, -1, dtype=np.int64)
     replica_ids = np.arange(n_replicas)
-    scratch = np.zeros((n_replicas, stride), dtype=bool)
-    newly = np.empty((n_replicas, stride), dtype=bool) if record else None
+    scratch = xp.zeros((n_replicas, stride), "bool")
+    newly = xp.empty((n_replicas, stride), "bool") if record else None
     recorder = _ShardTraceRecorder(n_replicas) if record else None
 
     live = n_replicas
     for round_index in range(1, max_rounds + 1):
         if live == 0:
             break
-        flat_active = active[:live].ravel()
-        positions = np.flatnonzero(flat_active)
+        flat_active = xp.ravel(active[:live])
+        positions = xp.flatnonzero(flat_active)
         columns = positions & vertex_mask
         bases = positions - columns
-        picks = graph.sample_neighbors(columns, mandatory, rng)
-        next_state = scratch[:live]
-        next_state[...] = False
-        flat_next = next_state.ravel()
+        picks = graph.sample_neighbors(columns, mandatory, rng, backend=xp)
+        next_state = xp.fill_false(scratch[:live])
+        flat_next = xp.ravel(next_state)
         # Single flat scatter for all mandatory draws of all replicas.
         picks += bases[:, None]
-        flat_next[picks] = True
+        xp.put_true(flat_next, picks)
         branch = None
         if rho > 0.0:
-            branch = rng.random(columns.size) < rho
-            if branch.any():
-                extra = graph.sample_neighbors(columns[branch], 1, rng).ravel()
-                flat_next[bases[branch] + extra] = True
+            branch = xp.random(rng, xp.size(columns)) < rho
+            if xp.any_scalar(branch):
+                extra = xp.ravel(
+                    graph.sample_neighbors(columns[branch], 1, rng, backend=xp)
+                )
+                xp.put_true(flat_next, bases[branch] + extra)
         cumulative = covered[:live]
         if recorder is not None:
-            fresh = newly[:live]
-            np.greater(next_state, cumulative, out=fresh)  # next & ~covered
-            fresh_counts = fresh.sum(axis=1)
+            fresh = xp.greater(next_state, cumulative, out=newly[:live])  # next & ~covered
+            fresh_counts = xp.sum_along_last(fresh)
             rows = bases // stride
-            transmissions = np.bincount(rows, minlength=live) * mandatory
+            transmissions = xp.bincount(rows, live) * mandatory
             if branch is not None:
-                transmissions += np.bincount(rows[branch], minlength=live)
+                transmissions = transmissions + xp.bincount(rows[branch], live)
             recorder.record(
-                replica_ids[:live], next_state.sum(axis=1), fresh_counts, transmissions
+                replica_ids[:live],
+                xp.to_numpy(xp.sum_along_last(next_state)),
+                xp.to_numpy(fresh_counts),
+                xp.to_numpy(transmissions),
             )
         cumulative |= next_state
-        counts = covered_counts[:live]
-        np.sum(cumulative, axis=1, out=counts)
-        if int(counts.max()) == n:
+        counts = xp.sum_along_last(cumulative, out=covered_counts[:live])
+        if xp.max_scalar(counts) == n:
             done = counts == n
-            cover_times[replica_ids[:live][done]] = round_index
             keep = ~done
-            live = int(keep.sum())
+            done_np = xp.to_numpy(done)
+            keep_np = ~done_np
+            cover_times[replica_ids[:live][done_np]] = round_index
+            live = int(keep_np.sum())
             active[:live] = next_state[keep]
             covered[:live] = cumulative[keep]
-            replica_ids[:live] = replica_ids[: keep.size][keep]
+            replica_ids[:live] = replica_ids[: keep_np.size][keep_np]
         else:
             active, scratch = scratch, active
 
@@ -281,27 +351,29 @@ def _bips_shard(
 
     Returns the infection times, or the trace matrices when requested.
     """
-    graph, source, mandatory, rho, max_rounds, record = context
+    graph, source, mandatory, rho, max_rounds, record, backend = context
+    xp = resolve_backend(backend)
     graph = resolve_shared_graph(graph)
     n_replicas = stop_index - start_index
     rng = ensure_generator(seed)
     n = graph.n_vertices
 
-    infected = np.zeros((n_replicas, n), dtype=bool)
+    infected = xp.zeros((n_replicas, n), "bool")
     infected[:, source] = True
     infection_times = np.full(n_replicas, -1, dtype=np.int64)
     replica_ids = np.arange(n_replicas)
-    scratch = np.empty((n_replicas, n), dtype=bool)
+    scratch = xp.empty((n_replicas, n), "bool")
     # Every vertex of every live replica samples each round; the flat
     # vertex list and the per-slot state-row offsets never change, so
     # both are built once and sliced to the live block.
-    flat_vertices = np.tile(np.arange(n, dtype=np.int64), n_replicas)
-    row_offsets = np.repeat(np.arange(n_replicas, dtype=np.int64) * n, n)
-    hits_buffer = np.empty((n_replicas * n, mandatory), dtype=bool)
+    flat_vertices = xp.tile(xp.arange(n), n_replicas)
+    row_offsets = xp.repeat(xp.arange(n_replicas) * n, n)
+    hits_buffer = xp.empty((n_replicas * n, mandatory), "bool")
     recorder = _ShardTraceRecorder(n_replicas) if record else None
     if recorder is not None:
-        ever_infected = infected.copy()
-        newly = np.empty((n_replicas, n), dtype=bool)
+        ever_infected = xp.empty((n_replicas, n), "bool")
+        ever_infected[...] = infected
+        newly = xp.empty((n_replicas, n), "bool")
 
     live = n_replicas
     for round_index in range(1, max_rounds + 1):
@@ -309,53 +381,86 @@ def _bips_shard(
             break
         slots = live * n
         vertices = flat_vertices[:slots]
-        picks = graph.sample_neighbors(vertices, mandatory, rng)
+        picks = graph.sample_neighbors(vertices, mandatory, rng, backend=xp)
         picks += row_offsets[:slots, None]
-        state_flat = infected[:live].ravel()
-        hits = hits_buffer[:slots]
-        np.take(state_flat, picks, out=hits)
+        state_flat = xp.ravel(infected[:live])
+        hits = xp.take(state_flat, picks, out=hits_buffer[:slots])
         next_state = scratch[:live]
-        next_flat = next_state.ravel()
-        np.any(hits, axis=1, out=next_flat)
+        next_flat = xp.any_along_last(hits, out=xp.ravel(next_state))
         coin = None
+        n_extra = 0
         if rho > 0.0:
-            coin = rng.random(slots) < rho
-            extra_slots = np.flatnonzero(coin)
-            if extra_slots.size:
-                extra = graph.sample_neighbors(vertices[extra_slots], 1, rng).ravel()
-                next_flat[extra_slots] |= state_flat[extra + row_offsets[extra_slots]]
+            coin = xp.random(rng, slots) < rho
+            extra_slots = xp.flatnonzero(coin)
+            n_extra = xp.size(extra_slots)
+            if n_extra:
+                extra = xp.ravel(
+                    graph.sample_neighbors(vertices[extra_slots], 1, rng, backend=xp)
+                )
+                xp.or_at(
+                    next_flat,
+                    extra_slots,
+                    xp.take(state_flat, extra + row_offsets[extra_slots]),
+                )
         next_state[:, source] = True
-        counts = next_state.sum(axis=1)
+        counts = xp.sum_along_last(next_state)
         if recorder is not None:
-            fresh = newly[:live]
-            np.greater(next_state, ever_infected[:live], out=fresh)
-            fresh_counts = fresh.sum(axis=1)
+            fresh = xp.greater(next_state, ever_infected[:live], out=newly[:live])
+            fresh_counts = xp.sum_along_last(fresh)
             ever_infected[:live] |= next_state
             # Contacts per replica, the persistent source's excluded
             # (its draws exist only for vectorisation, like the
             # sequential engine).
-            transmissions = np.full(live, (n - 1) * mandatory, dtype=np.int64)
-            if coin is not None and extra_slots.size:
+            transmissions = xp.full(live, (n - 1) * mandatory, "int64")
+            if coin is not None and n_extra:
                 non_source = vertices[extra_slots] != source
-                transmissions += np.bincount(
-                    extra_slots[non_source] // n, minlength=live
+                transmissions = transmissions + xp.bincount(
+                    extra_slots[non_source] // n, live
                 )
-            recorder.record(replica_ids[:live], counts, fresh_counts, transmissions)
+            recorder.record(
+                replica_ids[:live],
+                xp.to_numpy(counts),
+                xp.to_numpy(fresh_counts),
+                xp.to_numpy(transmissions),
+            )
         done = counts == n
-        if done.any():
-            infection_times[replica_ids[:live][done]] = round_index
+        # Gate the device-to-host mask transfer on a scalar check, like
+        # the COBRA kernel: most rounds finish nothing, and the
+        # steady-state loop should stay transfer-free on GPU backends.
+        if xp.any_scalar(done):
+            done_np = xp.to_numpy(done)
             keep = ~done
-            live = int(keep.sum())
+            keep_np = ~done_np
+            infection_times[replica_ids[:live][done_np]] = round_index
+            live = int(keep_np.sum())
             infected[:live] = next_state[keep]
-            replica_ids[:live] = replica_ids[: keep.size][keep]
+            replica_ids[:live] = replica_ids[: keep_np.size][keep_np]
             if recorder is not None:
-                ever_infected[:live] = ever_infected[: keep.size][keep]
+                ever_infected[:live] = ever_infected[: keep_np.size][keep]
         else:
             infected, scratch = scratch, infected
 
     if recorder is None:
         return infection_times
     return recorder.finalize(infection_times)
+
+
+def _resolve_engine_backend(graph: Graph, backend: "str | Backend | None") -> Backend:
+    """Resolve and validate the backend for one batch entry point.
+
+    Non-NumPy backends only support the regular-degree sampling fast
+    path, so irregular graphs are rejected here — before any shard is
+    seeded — with a clear error instead of failing mid-kernel.
+    """
+    resolved = resolve_backend(backend)
+    if not resolved.is_numpy and not graph.is_regular:
+        raise BackendError(
+            f"backend {resolved.spec!r} supports only regular graphs "
+            f"(the degree-regular sampling fast path); graph "
+            f"{graph.name!r} has degrees "
+            f"{graph.min_degree}..{graph.max_degree}"
+        )
+    return resolved
 
 
 def _run_sharded(
@@ -373,7 +478,9 @@ def _run_sharded(
     graph is published once through a
     :class:`~repro.parallel.SharedGraph` so every worker reattaches the
     CSR arrays zero-copy instead of unpickling its own copy; the
-    segments are freed before returning, even on error.
+    segments are freed before returning, even on error.  A backend
+    travelling in ``parameters`` pickles as its spec string and
+    re-resolves inside each worker.
     """
     bounds = shard_bounds(n_replicas, shard_size)
     seeds = spawn_seed_sequences(seed, len(bounds))
@@ -408,10 +515,11 @@ def _check_timeouts(
     goal: str,
     graph: Graph,
     max_rounds: int,
+    error_cls: type = CoverTimeoutError,
 ) -> None:
     timed_out = int((times < 0).sum())
     if timed_out and raise_on_timeout:
-        raise CoverTimeoutError(
+        raise error_cls(
             f"{timed_out}/{times.size} {process_name} replicas on {graph.name} "
             f"did not {goal} within {max_rounds} rounds"
         )
@@ -429,6 +537,7 @@ def batch_cobra_cover_times(
     raise_on_timeout: bool = True,
     jobs: int | None = None,
     shard_size: int | None = None,
+    backend: "str | Backend | None" = None,
 ) -> np.ndarray:
     """Cover times of ``n_replicas`` independent COBRA runs.
 
@@ -439,9 +548,13 @@ def batch_cobra_cover_times(
     shards over a process pool (``None`` = the process-wide default,
     ``0`` = one worker per CPU); for a fixed ``seed`` and
     ``shard_size`` the result is bit-identical for every ``jobs``.
+    ``backend`` selects the array backend (``None`` = the process-wide
+    default, normally NumPy); deterministic backends are bit-identical
+    to each other because all draws come from the host generator.
 
     Returns an int64 array of length ``n_replicas``; timeouts raise
-    (default) or are reported as ``-1``.
+    :class:`~repro.errors.CoverTimeoutError` (default) or are reported
+    as ``-1``.
     """
     mandatory, rho = validate_branching(branching)
     start = resolve_vertex(graph, start, role="start")
@@ -449,7 +562,10 @@ def batch_cobra_cover_times(
         raise ValueError(f"n_replicas must be >= 1, got {n_replicas}")
     if max_rounds is None:
         max_rounds = default_max_rounds(graph)
-    parameters = (start, mandatory, rho, max_rounds, include_start_in_cover, False)
+    engine_backend = _resolve_engine_backend(graph, backend)
+    parameters = (
+        start, mandatory, rho, max_rounds, include_start_in_cover, False, engine_backend,
+    )
     times = np.concatenate(
         _run_sharded(_cobra_shard, graph, parameters, n_replicas, seed, shard_size, jobs)
     )
@@ -469,6 +585,7 @@ def batch_cobra_traces(
     raise_on_timeout: bool = True,
     jobs: int | None = None,
     shard_size: int | None = None,
+    backend: "str | Backend | None" = None,
 ) -> BatchTraces:
     """Per-round curves of ``n_replicas`` independent COBRA runs.
 
@@ -477,7 +594,10 @@ def batch_cobra_traces(
     bit-identical to the times engine's output), but each round's
     active / newly-covered / transmission counts are recorded per
     replica, so message-accounting ensembles leave the sequential
-    path.  Sharding and ``jobs`` follow the same seed-stable contract.
+    path.  Sharding, ``jobs``, and ``backend`` follow the same
+    seed-stable contract.  With ``raise_on_timeout=False`` timed-out
+    rows stay in the returned matrices — see the
+    :class:`BatchTraces` timeout contract.
     """
     mandatory, rho = validate_branching(branching)
     start = resolve_vertex(graph, start, role="start")
@@ -485,7 +605,10 @@ def batch_cobra_traces(
         raise ValueError(f"n_replicas must be >= 1, got {n_replicas}")
     if max_rounds is None:
         max_rounds = default_max_rounds(graph)
-    parameters = (start, mandatory, rho, max_rounds, include_start_in_cover, True)
+    engine_backend = _resolve_engine_backend(graph, backend)
+    parameters = (
+        start, mandatory, rho, max_rounds, include_start_in_cover, True, engine_backend,
+    )
     times, active, newly, transmissions = _merge_traces(
         _run_sharded(_cobra_shard, graph, parameters, n_replicas, seed, shard_size, jobs)
     )
@@ -511,13 +634,17 @@ def batch_bips_infection_times(
     raise_on_timeout: bool = True,
     jobs: int | None = None,
     shard_size: int | None = None,
+    backend: "str | Backend | None" = None,
 ) -> np.ndarray:
     """Infection times of ``n_replicas`` independent BIPS runs.
 
     All vertices of all unfinished replicas sample each round, so the
     inner loop is a single ``(U·n, k)`` gather for `U` unfinished
-    replicas per shard.  Sharding and ``jobs`` follow the same
-    seed-stable contract as :func:`batch_cobra_cover_times`.
+    replicas per shard.  Sharding, ``jobs``, and ``backend`` follow
+    the same seed-stable contract as
+    :func:`batch_cobra_cover_times`.  Timeouts raise
+    :class:`~repro.errors.InfectionTimeoutError` (default) or are
+    reported as ``-1``.
     """
     mandatory, rho = validate_branching(branching)
     source = resolve_vertex(graph, source, role="source")
@@ -525,11 +652,15 @@ def batch_bips_infection_times(
         raise ValueError(f"n_replicas must be >= 1, got {n_replicas}")
     if max_rounds is None:
         max_rounds = default_max_rounds(graph)
-    parameters = (source, mandatory, rho, max_rounds, False)
+    engine_backend = _resolve_engine_backend(graph, backend)
+    parameters = (source, mandatory, rho, max_rounds, False, engine_backend)
     times = np.concatenate(
         _run_sharded(_bips_shard, graph, parameters, n_replicas, seed, shard_size, jobs)
     )
-    _check_timeouts(times, raise_on_timeout, "BIPS", "infect", graph, max_rounds)
+    _check_timeouts(
+        times, raise_on_timeout, "BIPS", "infect", graph, max_rounds,
+        error_cls=InfectionTimeoutError,
+    )
     return times
 
 
@@ -544,13 +675,17 @@ def batch_bips_traces(
     raise_on_timeout: bool = True,
     jobs: int | None = None,
     shard_size: int | None = None,
+    backend: "str | Backend | None" = None,
 ) -> BatchTraces:
     """Per-round curves of ``n_replicas`` independent BIPS runs.
 
     The trace sibling of :func:`batch_bips_infection_times` (same
     kernel and randomness; bit-identical ``completion_times``), used by
     the phase-curve ensembles.  ``active_counts`` are the infected-set
-    sizes ``|A_t|`` the proof of Theorem 2 tracks.
+    sizes ``|A_t|`` the proof of Theorem 2 tracks.  Timeouts raise
+    :class:`~repro.errors.InfectionTimeoutError`; with
+    ``raise_on_timeout=False`` timed-out rows stay in the matrices
+    under the :class:`BatchTraces` timeout contract.
     """
     mandatory, rho = validate_branching(branching)
     source = resolve_vertex(graph, source, role="source")
@@ -558,11 +693,15 @@ def batch_bips_traces(
         raise ValueError(f"n_replicas must be >= 1, got {n_replicas}")
     if max_rounds is None:
         max_rounds = default_max_rounds(graph)
-    parameters = (source, mandatory, rho, max_rounds, True)
+    engine_backend = _resolve_engine_backend(graph, backend)
+    parameters = (source, mandatory, rho, max_rounds, True, engine_backend)
     times, active, newly, transmissions = _merge_traces(
         _run_sharded(_bips_shard, graph, parameters, n_replicas, seed, shard_size, jobs)
     )
-    _check_timeouts(times, raise_on_timeout, "BIPS", "infect", graph, max_rounds)
+    _check_timeouts(
+        times, raise_on_timeout, "BIPS", "infect", graph, max_rounds,
+        error_cls=InfectionTimeoutError,
+    )
     return BatchTraces(
         completion_times=times,
         active_counts=active,

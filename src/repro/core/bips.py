@@ -21,6 +21,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro._rng import SeedLike
+from repro.errors import InfectionTimeoutError
 from repro.core.process import (
     RoundRecord,
     SpreadingProcess,
@@ -34,6 +35,9 @@ from repro.graphs.base import Graph
 
 class BipsProcess(SpreadingProcess):
     """A BIPS epidemic with a persistent source.
+
+    Timeouts raise :class:`~repro.errors.InfectionTimeoutError` (an
+    infection process's goal is full infection, not coverage).
 
     Parameters
     ----------
@@ -56,6 +60,8 @@ class BipsProcess(SpreadingProcess):
         neighbour is only *seen* as infected if the contact survives.
         The dual of equally-lossy COBRA (Theorem 4 carries over).
     """
+
+    timeout_error = InfectionTimeoutError
 
     def __init__(
         self,

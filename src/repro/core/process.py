@@ -28,7 +28,7 @@ from typing import Iterable, Iterator, Sequence
 import numpy as np
 
 from repro._rng import SeedLike, ensure_generator
-from repro.errors import ProcessError
+from repro.errors import CoverTimeoutError, ProcessError
 from repro.graphs.base import Graph
 
 
@@ -182,6 +182,12 @@ def resolve_vertex_set(graph: Graph, vertices: int | Iterable[int], *, role: str
 
 class SpreadingProcess(ABC):
     """Abstract base for synchronous-round spreading processes."""
+
+    #: The :class:`~repro.errors.ProcessTimeoutError` subclass runners
+    #: raise when this process misses its goal within the round cap.
+    #: Coverage processes (the default) raise the cover flavour;
+    #: infection processes (BIPS, SIS) override with the infection one.
+    timeout_error: type = CoverTimeoutError
 
     def __init__(self, graph: Graph, *, seed: SeedLike = None) -> None:
         self._graph = graph

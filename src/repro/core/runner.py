@@ -16,7 +16,6 @@ import numpy as np
 
 from repro._rng import SeedLike, spawn_seed_sequences
 from repro.core.process import SpreadingProcess, Trace
-from repro.errors import CoverTimeoutError
 from repro.graphs.base import Graph
 from repro.parallel import map_shards, resolve_jobs, shard_bounds
 
@@ -86,8 +85,11 @@ def run_process(
     record_trace:
         Keep per-round records (costs memory proportional to rounds).
     raise_on_timeout:
-        Raise :class:`~repro.errors.CoverTimeoutError` instead of
-        returning ``completed=False``.
+        Raise the process's goal-flavoured
+        :class:`~repro.errors.ProcessTimeoutError` subclass
+        (:class:`~repro.errors.CoverTimeoutError` for coverage
+        processes, :class:`~repro.errors.InfectionTimeoutError` for
+        BIPS/SIS) instead of returning ``completed=False``.
     """
     if max_rounds is None:
         max_rounds = default_max_rounds(process.graph)
@@ -102,7 +104,7 @@ def run_process(
             break
     completed = process.is_complete
     if not completed and raise_on_timeout and not extinct:
-        raise CoverTimeoutError(
+        raise process.timeout_error(
             f"{type(process).__name__} on {process.graph.name} did not complete "
             f"within {max_rounds} rounds (active={process.active_count}, "
             f"cumulative={process.cumulative_count})"

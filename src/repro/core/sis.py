@@ -18,6 +18,7 @@ from typing import Iterable
 import numpy as np
 
 from repro._rng import SeedLike
+from repro.errors import InfectionTimeoutError
 from repro.core.process import (
     RoundRecord,
     SpreadingProcess,
@@ -45,6 +46,8 @@ class SisProcess(SpreadingProcess):
         Contact neighbours with replacement (default, paper semantics)
         or distinct neighbours.
     """
+
+    timeout_error = InfectionTimeoutError
 
     def __init__(
         self,

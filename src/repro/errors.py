@@ -37,12 +37,26 @@ class ProcessError(ReproError):
     """
 
 
-class CoverTimeoutError(ReproError):
-    """Raised when a process fails to cover/infect within ``max_rounds``.
+class ProcessTimeoutError(ReproError):
+    """Raised when a process fails to reach its goal within ``max_rounds``.
 
-    Runners raise this only when explicitly asked to treat timeout as an
-    error; by default they return a result object with ``success=False``.
+    The shared base of the goal-flavoured timeouts: coverage processes
+    (COBRA, push, random walks) raise :class:`CoverTimeoutError`,
+    infection processes (BIPS, SIS) raise
+    :class:`InfectionTimeoutError`.  Catch this class to handle any
+    timeout regardless of the process's goal.  Runners raise only when
+    explicitly asked to treat timeout as an error; by default they
+    return a result object with ``success=False`` (or record ``-1``).
     """
+
+
+class CoverTimeoutError(ProcessTimeoutError):
+    """Raised when a coverage process fails to cover within ``max_rounds``."""
+
+
+class InfectionTimeoutError(ProcessTimeoutError):
+    """Raised when an infection process (BIPS, SIS) fails to infect
+    every vertex within ``max_rounds``."""
 
 
 class ExactEngineError(ReproError):
@@ -61,6 +75,15 @@ class ParallelError(ReproError):
     """Raised on invalid parallel-execution configuration.
 
     Examples: a negative ``jobs`` count, or a shard size below 1.
+    """
+
+
+class BackendError(ReproError):
+    """Raised on invalid array-backend configuration.
+
+    Examples: an unknown backend spec, a GPU backend requested on a
+    machine without the library installed, or a workload a non-NumPy
+    backend does not support (e.g. irregular graphs).
     """
 
 

@@ -34,6 +34,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Iterator
 
+from repro.backends import default_backend_spec, set_default_backend
 from repro.errors import ExperimentError
 from repro.experiments import get_spec, run_experiment_cached
 from repro.parallel import imap_shards, map_shards, resolve_jobs, set_default_jobs
@@ -119,12 +120,25 @@ class Campaign:
 
     @classmethod
     def from_json(cls, text: str) -> "Campaign":
-        """Parse a campaign description (``{"name": ..., "entries": [...]}``)."""
+        """Parse a campaign description (``{"name": ..., "entries": [...]}``).
+
+        ``"entries"`` must be a JSON array.  A dict or string would
+        otherwise *iterate* — over its keys or characters — and
+        surface as a baffling per-entry error ("campaign entry must be
+        an object, got str"), so the wrong container type is rejected
+        up front with one clear message naming what was found.
+        """
         try:
             data = json.loads(text)
+            entries = data["entries"]
+            if not isinstance(entries, list):
+                raise ExperimentError(
+                    f"campaign 'entries' must be a list of entry objects, "
+                    f"got {type(entries).__name__}"
+                )
             campaign = cls(
                 name=data["name"],
-                entries=[CampaignEntry.from_dict(entry) for entry in data["entries"]],
+                entries=[CampaignEntry.from_dict(entry) for entry in entries],
             )
         except (KeyError, TypeError, json.JSONDecodeError) as error:
             raise ExperimentError(f"malformed campaign description: {error}") from None
@@ -186,10 +200,18 @@ def _isolated_entry(context: dict[str, Any], entry_data: dict[str, Any]) -> dict
 
     Workers are daemonic, so nested ensemble pools are disabled for the
     entry's lifetime — entry-level and replica-level parallelism never
-    stack.  The previous default is restored in case this kernel ran
-    inline (single-worker fallback) rather than in a pool worker.
+    stack.  The parent's default array backend travels in the context
+    and is installed here (unvalidated — a broken spec fails at first
+    use, exactly as it would in the parent): spawn workers re-import
+    the package and would otherwise silently fall back to the
+    environment default, dropping a ``--backend`` choice.  Previous
+    defaults are restored in case this kernel ran inline
+    (single-worker fallback) rather than in a pool worker.
     """
     previous = set_default_jobs(1)
+    previous_backend = set_default_backend(
+        context.get("backend", default_backend_spec()), validate=False
+    )
     try:
         return _execute_entry(
             CampaignEntry.from_dict(entry_data),
@@ -198,6 +220,7 @@ def _isolated_entry(context: dict[str, Any], entry_data: dict[str, Any]) -> dict
         )
     finally:
         set_default_jobs(previous)
+        set_default_backend(previous_backend, validate=False)
 
 
 def _shielded_entry(context: dict[str, Any], entry_data: dict[str, Any]) -> dict[str, Any]:
@@ -214,7 +237,11 @@ def _shielded_entry(context: dict[str, Any], entry_data: dict[str, Any]) -> dict
 
 
 def _worker_context(directory: Path, cache_dir: str | None) -> dict[str, Any]:
-    return {"directory": str(directory), "cache_dir": cache_dir}
+    return {
+        "directory": str(directory),
+        "cache_dir": cache_dir,
+        "backend": default_backend_spec(),
+    }
 
 
 def _prepare(campaign: Campaign, output_dir: str | Path) -> Path:

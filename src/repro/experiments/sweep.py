@@ -59,10 +59,15 @@ def _measure(
     return EnsembleMeasurement(times=times, stats=summarize(times))
 
 
-def _validate_engine(engine: str) -> None:
+def _validate_engine(engine: str, backend=None) -> None:
     if engine not in ("process", "batch"):
         raise ExperimentError(
             f"engine must be 'process' or 'batch', got {engine!r}"
+        )
+    if backend is not None and engine != "batch":
+        raise ExperimentError(
+            f"backend={backend!r} requires engine='batch'; the sequential "
+            f"'process' engine runs on host NumPy only"
         )
 
 
@@ -76,6 +81,7 @@ def measure_cobra_cover(
     max_rounds: int | None = None,
     jobs: int | None = None,
     engine: str = "batch",
+    backend=None,
 ) -> EnsembleMeasurement:
     """Ensemble of COBRA cover times on ``graph``.
 
@@ -87,9 +93,11 @@ def measure_cobra_cover(
     including the fractional ``1 + ρ`` of Theorem 3), and the batch
     engine is much faster for large ensembles.  ``jobs`` shards the
     replicas over worker processes with seed-stable results either
-    way.
+    way.  ``backend`` selects the batch engine's array backend
+    (``None`` = the process-wide default; requires
+    ``engine="batch"``).
     """
-    _validate_engine(engine)
+    _validate_engine(engine, backend)
     if engine == "batch":
         times = batch_cobra_cover_times(
             graph,
@@ -99,6 +107,7 @@ def measure_cobra_cover(
             seed=seed,
             max_rounds=max_rounds,
             jobs=jobs,
+            backend=backend,
         )
         return EnsembleMeasurement(times=times, stats=summarize(times))
     return _measure(
@@ -120,13 +129,14 @@ def measure_bips_infection(
     max_rounds: int | None = None,
     jobs: int | None = None,
     engine: str = "batch",
+    backend=None,
 ) -> EnsembleMeasurement:
     """Ensemble of BIPS infection times on ``graph``.
 
-    Supports the same ``engine`` / ``jobs`` options (and the same
-    ``"batch"`` default) as :func:`measure_cobra_cover`.
+    Supports the same ``engine`` / ``jobs`` / ``backend`` options (and
+    the same ``"batch"`` default) as :func:`measure_cobra_cover`.
     """
-    _validate_engine(engine)
+    _validate_engine(engine, backend)
     if engine == "batch":
         times = batch_bips_infection_times(
             graph,
@@ -136,6 +146,7 @@ def measure_bips_infection(
             seed=seed,
             max_rounds=max_rounds,
             jobs=jobs,
+            backend=backend,
         )
         return EnsembleMeasurement(times=times, stats=summarize(times))
     return _measure(

@@ -84,8 +84,10 @@ def set_default_jobs(jobs: int) -> int:
     without threading a parameter through thirteen ``run`` signatures.
     """
     global _default_jobs
+    if jobs is None:
+        raise ParallelError("set_default_jobs needs a concrete jobs count, got None")
     previous = _default_jobs
-    _default_jobs = resolve_jobs(int(jobs))
+    _default_jobs = resolve_jobs(jobs)
     return previous
 
 
@@ -93,10 +95,19 @@ def resolve_jobs(jobs: int | None = None) -> int:
     """Normalise a ``jobs`` argument to a concrete worker count.
 
     ``None`` resolves to :func:`default_jobs`, ``0`` to ``os.cpu_count()``,
-    and any positive integer to itself.  Negative counts are rejected.
+    and any positive integer to itself.  Negative counts are rejected,
+    and so are booleans: ``jobs=True`` would otherwise coerce to one
+    worker and silently serialise a run the caller meant to
+    parallelise (mirroring the strict seed validation in
+    :meth:`~repro.experiments.campaign.CampaignEntry.from_dict`).
     """
     if jobs is None:
         return _default_jobs
+    if isinstance(jobs, bool):
+        raise ParallelError(
+            f"jobs must be an integer worker count, got the boolean {jobs!r} "
+            "(did you mean jobs=0 for one worker per CPU?)"
+        )
     jobs = int(jobs)
     if jobs < 0:
         raise ParallelError(f"jobs must be >= 0 (0 = one per CPU), got {jobs}")

@@ -9,7 +9,7 @@ from repro.core.batch import batch_bips_infection_times, batch_cobra_cover_times
 from repro.core.bips import BipsProcess
 from repro.core.cobra import CobraProcess
 from repro.core.runner import sample_completion_times
-from repro.errors import CoverTimeoutError
+from repro.errors import CoverTimeoutError, InfectionTimeoutError, ProcessTimeoutError
 from repro.exact.bips_exact import ExactBips
 from repro.exact.cover_exact import ExactCobraCover
 from repro.graphs import generators
@@ -134,3 +134,20 @@ class TestBatchBips:
             small_expander, 0, n_replicas=5, seed=6, max_rounds=1, raise_on_timeout=False
         )
         assert np.all(times == -1)
+
+    def test_timeout_raises_infection_flavour(self, small_expander):
+        # BIPS timeouts carry the infection-flavoured subclass (the
+        # batch engines used to raise CoverTimeoutError with a "did not
+        # infect" message); both flavours share ProcessTimeoutError.
+        with pytest.raises(InfectionTimeoutError, match="did not infect"):
+            batch_bips_infection_times(
+                small_expander, 0, n_replicas=5, seed=6, max_rounds=1
+            )
+        with pytest.raises(ProcessTimeoutError):
+            batch_bips_infection_times(
+                small_expander, 0, n_replicas=5, seed=6, max_rounds=1
+            )
+        with pytest.raises(ProcessTimeoutError):
+            batch_cobra_cover_times(
+                small_expander, 0, n_replicas=5, seed=6, max_rounds=1
+            )

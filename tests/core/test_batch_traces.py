@@ -200,3 +200,82 @@ class TestBipsTraces:
         )
         assert np.all(traces.completion_times == -1)
         assert traces.rounds == 1
+
+
+class TestTimeoutAggregateContract:
+    """The documented semantics of aggregates under ``raise_on_timeout=False``.
+
+    Timed-out rows stay fully populated through every recorded round
+    and are *included* in ``total_transmissions`` /
+    ``peak_transmissions`` / ``cumulative_counts`` as observed up to
+    the round cap; ``completed_mask`` is the filter for callers who
+    want completed runs only.
+    """
+
+    def _mixed_traces(self):
+        # BIPS on K5 with a tight cap: some replicas finish within two
+        # rounds, others are cut off, so both populations coexist.
+        traces = batch_bips_traces(
+            generators.complete(5),
+            0,
+            n_replicas=64,
+            seed=11,
+            max_rounds=2,
+            raise_on_timeout=False,
+        )
+        mask = traces.completed_mask()
+        assert mask.any() and not mask.all(), "seed must give a mixed ensemble"
+        return traces, mask
+
+    def test_completed_mask_matches_completion_times(self):
+        traces, mask = self._mixed_traces()
+        assert np.array_equal(mask, traces.completion_times >= 0)
+
+    def test_timed_out_rows_are_fully_populated(self):
+        traces, mask = self._mixed_traces()
+        n = 5
+        # A timed-out BIPS replica keeps contacting in every recorded
+        # round: no trailing zero columns, unlike completed rows.
+        assert np.all(traces.transmissions[~mask] >= (n - 1) * 2)
+        assert np.all(traces.active_counts[~mask] >= 1)
+
+    def test_total_transmissions_includes_truncated_rows(self):
+        traces, mask = self._mixed_traces()
+        totals = traces.total_transmissions()
+        # The aggregate is over all rows and equals the row sums of the
+        # matrix — timed-out rows contribute their observed (truncated)
+        # totals rather than being dropped or zeroed.
+        assert totals.shape == (traces.n_replicas,)
+        assert np.array_equal(totals, traces.transmissions.sum(axis=1))
+        assert np.all(totals[~mask] == traces.rounds * (5 - 1) * 2)
+
+    def test_peak_transmissions_includes_truncated_rows(self):
+        traces, mask = self._mixed_traces()
+        peaks = traces.peak_transmissions()
+        assert np.array_equal(peaks, traces.transmissions.max(axis=1))
+        assert np.all(peaks[~mask] == (5 - 1) * 2)
+
+    def test_cumulative_and_active_counts_for_timeouts(self):
+        traces, mask = self._mixed_traces()
+        cumulative = traces.cumulative_counts()
+        # BIPS completion is *simultaneous* full infection, so a
+        # timed-out row never shows n active vertices in any column —
+        # but its cumulative (ever-infected) count may still reach n.
+        assert np.all(traces.active_counts[~mask] < 5)
+        assert np.all(cumulative[~mask] <= 5)
+        completed_final = cumulative[
+            np.flatnonzero(mask), traces.completion_times[mask] - 1
+        ]
+        assert np.all(completed_final == 5)
+
+    def test_cobra_all_timed_out_aggregates(self, small_expander):
+        traces = batch_cobra_traces(
+            small_expander, 0, n_replicas=6, seed=6, max_rounds=2,
+            raise_on_timeout=False,
+        )
+        assert not traces.completed_mask().any()
+        assert traces.rounds == 2
+        assert np.array_equal(
+            traces.total_transmissions(), traces.transmissions.sum(axis=1)
+        )
+        assert np.all(traces.cumulative_counts()[:, -1] < small_expander.n_vertices)

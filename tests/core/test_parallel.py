@@ -51,6 +51,21 @@ class TestResolveJobs:
         with pytest.raises(ParallelError, match="jobs"):
             resolve_jobs(-1)
 
+    def test_bool_rejected(self):
+        # ``jobs=True`` used to coerce to one worker and silently
+        # serialise a run the caller meant to parallelise.
+        with pytest.raises(ParallelError, match="boolean"):
+            resolve_jobs(True)
+        with pytest.raises(ParallelError, match="boolean"):
+            resolve_jobs(False)
+
+    def test_set_default_rejects_bool_and_none(self):
+        with pytest.raises(ParallelError, match="boolean"):
+            set_default_jobs(True)
+        with pytest.raises(ParallelError, match="None"):
+            set_default_jobs(None)
+        assert default_jobs() == 1  # the default survived the rejections
+
 
 class TestShardBounds:
     def test_covers_range_contiguously(self):

@@ -6,12 +6,15 @@ import pytest
 
 import repro
 from repro.errors import (
+    BackendError,
     CoverTimeoutError,
     ExactEngineError,
     ExperimentError,
     GraphConstructionError,
     GraphPropertyError,
+    InfectionTimeoutError,
     ProcessError,
+    ProcessTimeoutError,
     ReproError,
 )
 
@@ -23,9 +26,12 @@ class TestHierarchy:
             GraphConstructionError,
             GraphPropertyError,
             ProcessError,
+            ProcessTimeoutError,
             CoverTimeoutError,
+            InfectionTimeoutError,
             ExactEngineError,
             ExperimentError,
+            BackendError,
         ],
     )
     def test_all_derive_from_repro_error(self, exception):
@@ -35,6 +41,31 @@ class TestHierarchy:
 
     def test_repro_error_is_an_exception(self):
         assert issubclass(ReproError, Exception)
+
+    def test_timeout_flavours_share_a_base(self):
+        # One except clause catches both goal flavours; the legacy
+        # CoverTimeoutError stays catchable exactly as before.
+        assert issubclass(CoverTimeoutError, ProcessTimeoutError)
+        assert issubclass(InfectionTimeoutError, ProcessTimeoutError)
+        assert not issubclass(InfectionTimeoutError, CoverTimeoutError)
+        assert not issubclass(CoverTimeoutError, InfectionTimeoutError)
+
+    def test_sequential_runner_raises_goal_flavoured_timeouts(self):
+        from repro.core.runner import run_process
+
+        graph = repro.graphs.random_regular(64, 4, seed=7)
+        with pytest.raises(CoverTimeoutError):
+            run_process(
+                repro.CobraProcess(graph, 0, seed=1),
+                max_rounds=1,
+                raise_on_timeout=True,
+            )
+        with pytest.raises(InfectionTimeoutError):
+            run_process(
+                repro.BipsProcess(graph, 0, seed=1),
+                max_rounds=1,
+                raise_on_timeout=True,
+            )
 
     def test_catchable_individually(self):
         with pytest.raises(GraphConstructionError):
