@@ -7,7 +7,10 @@ This is the 60-second tour of the library:
 2. measure its spectral gap,
 3. run a COBRA process with branching factor 2 until every vertex has
    been covered,
-4. compare the measured cover time with Theorem 1's O(log n) shape.
+4. compare the measured cover time with Theorem 1's O(log n) shape,
+5. load the shipped scenario file (a torus ladder — a non-expander
+   family) and run it at toy scale, and validate the override-grid
+   campaign next to it.
 
 Run:  python examples/quickstart.py
 """
@@ -15,6 +18,7 @@ Run:  python examples/quickstart.py
 from __future__ import annotations
 
 import math
+from pathlib import Path
 
 from repro import CobraProcess, graphs, run_process
 from repro.graphs.spectral import lambda_second, spectral_gap
@@ -51,6 +55,33 @@ def main() -> None:
     total_messages = result.trace.total_transmissions()
     print(f"\nTotal messages: {total_messages} "
           f"({total_messages / n:.1f} per vertex for the whole broadcast)")
+
+    scenario_tour()
+
+
+def scenario_tour() -> None:
+    """Load the shipped scenario JSON files and exercise them at toy scale."""
+    from repro.experiments import run_experiment
+    from repro.experiments.campaign import Campaign
+    from repro.scenarios import load_scenario
+
+    examples_dir = Path(__file__).resolve().parent
+    scenario = load_scenario(examples_dir / "scenario_torus_sweep.json")
+    print(f"\nScenario {scenario.name!r}: {scenario.experiment_id} "
+          f"on {scenario.overrides['family']['kind']} graphs")
+    # Shrink the ladder so the tour stays fast; the full ladder is one
+    # `cobra-repro campaign examples/scenario_torus_sweep.json` away.
+    toy = scenario.workload().with_overrides({"sizes": (25, 49, 81), "samples": 4})
+    result = run_experiment(scenario.experiment_id, workload=toy, seed=0)
+    for finding in result.findings:
+        print(f"  * {finding}")
+
+    campaign = Campaign.from_json(
+        (examples_dir / "campaign_override_grid.json").read_text()
+    )
+    print(f"\nCampaign {campaign.name!r} validates: {len(campaign.entries)} entries "
+          f"(override grids + a named scenario); run it with\n"
+          f"  cobra-repro campaign examples/campaign_override_grid.json")
 
 
 if __name__ == "__main__":

@@ -11,8 +11,11 @@ Public API highlights:
 * :mod:`repro.exact` — exact subset-distribution engines and the
   machine-precision duality check (Theorem 4);
 * :mod:`repro.theory` — every closed-form bound in the paper;
-* :mod:`repro.experiments` — the E1–E10 validation experiments, also
-  runnable via ``python -m repro``.
+* :mod:`repro.experiments` — the E1–E13 validation experiments, also
+  runnable via ``python -m repro``;
+* :mod:`repro.scenarios` — typed workloads, named scenarios, and graph
+  families: run any experiment on new size grids, degree sets, or
+  graph families without touching experiment code.
 
 Quickstart::
 
@@ -24,7 +27,18 @@ Quickstart::
     print(result.completion_time)   # O(log n) rounds on an expander
 """
 
-from repro import analysis, backends, cache, core, exact, experiments, graphs, parallel, theory
+from repro import (
+    analysis,
+    backends,
+    cache,
+    core,
+    exact,
+    experiments,
+    graphs,
+    parallel,
+    scenarios,
+    theory,
+)
 from repro.backends import Backend, resolve_backend, set_default_backend
 from repro.cache import ResultCache
 from repro.core import (
@@ -55,6 +69,7 @@ from repro.errors import (
     ProcessError,
     ProcessTimeoutError,
     ReproError,
+    ScenarioError,
 )
 from repro.graphs import Graph
 
@@ -72,6 +87,7 @@ __all__ = [
     "parallel",
     "cache",
     "backends",
+    "scenarios",
     # backends
     "Backend",
     "resolve_backend",
@@ -106,4 +122,5 @@ __all__ = [
     "ParallelError",
     "BackendError",
     "CacheError",
+    "ScenarioError",
 ]

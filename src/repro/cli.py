@@ -6,7 +6,12 @@ Usage (installed as ``cobra-repro`` or via ``python -m repro``)::
     cobra-repro info E4                   # one experiment's identity card
     cobra-repro run E1 --mode quick       # run and print one experiment
     cobra-repro run E1 --out results/     # ... also write JSON
+    cobra-repro run E1 --set sizes=256,512 --set samples=8   # override workload
     cobra-repro all --mode quick          # run everything in order
+    cobra-repro all --only E1,E4 --skip E11   # filter the sweep
+    cobra-repro scenario list             # named workloads (paper + diversity)
+    cobra-repro scenario run e2-hypercube # run a named scenario
+    cobra-repro scenario validate s.json  # schema-check scenario files
     cobra-repro run E1 --jobs 4           # shard ensembles over 4 workers
     cobra-repro campaign c.json --jobs 0  # one campaign entry per CPU
     cobra-repro run E1 --cache-dir .repro-cache   # reuse cached results
@@ -18,6 +23,8 @@ seed-stably (see :mod:`repro.parallel`), so any worker count produces
 the same numbers.  ``--cache-dir`` never changes results either: the
 cache key covers everything a run computes from (see
 :mod:`repro.cache`), so a hit is byte-identical to a recomputation.
+``--set`` overrides are workload fields (see :mod:`repro.scenarios`);
+an override grid equal to the preset hits the preset's cache entries.
 """
 
 from __future__ import annotations
@@ -72,9 +79,61 @@ def build_parser() -> argparse.ArgumentParser:
     run = subparsers.add_parser("run", help="run one experiment")
     run.add_argument("experiment", help="experiment id, e.g. E1")
     _add_run_options(run)
+    run.add_argument(
+        "--set",
+        action="append",
+        default=[],
+        dest="overrides",
+        metavar="FIELD=VALUE",
+        help=(
+            "override one workload field on top of the --mode preset "
+            "(repeatable), e.g. --set sizes=256,512 --set samples=8; "
+            "values equal to the preset reuse the preset's cache entries"
+        ),
+    )
 
     run_all = subparsers.add_parser("all", help="run every experiment in order")
     _add_run_options(run_all)
+    run_all.add_argument(
+        "--only",
+        default=None,
+        metavar="IDS",
+        help="comma-separated experiment ids to run (e.g. E1,E4); others are skipped",
+    )
+    run_all.add_argument(
+        "--skip",
+        default=None,
+        metavar="IDS",
+        help="comma-separated experiment ids to skip (e.g. E11)",
+    )
+
+    scenario = subparsers.add_parser(
+        "scenario", help="list, inspect, run, or validate named workload scenarios"
+    )
+    scenario_actions = scenario.add_subparsers(dest="scenario_command", required=True)
+    scenario_actions.add_parser("list", help="all built-in scenarios")
+    scenario_info = scenario_actions.add_parser(
+        "info", help="one scenario's experiment, description, and workload"
+    )
+    scenario_info.add_argument("name", help="scenario name or scenario JSON file path")
+    scenario_run = scenario_actions.add_parser(
+        "run", help="run a scenario by name or from a JSON file"
+    )
+    scenario_run.add_argument("name", help="scenario name or scenario JSON file path")
+    scenario_run.add_argument("--seed", type=int, default=0, help="master seed")
+    scenario_run.add_argument(
+        "--out", type=Path, default=None, metavar="DIR",
+        help="directory to write JSON results into",
+    )
+    _add_jobs_option(scenario_run)
+    _add_cache_options(scenario_run)
+    scenario_validate = scenario_actions.add_parser(
+        "validate",
+        help="validate scenario (or campaign) JSON files against the schema",
+    )
+    scenario_validate.add_argument(
+        "files", nargs="+", type=Path, help="scenario or campaign JSON files"
+    )
 
     graph_info = subparsers.add_parser(
         "graph-info", help="build a graph family and print structure + spectrum"
@@ -149,12 +208,152 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _parse_override_value(value: str):
+    """A ``--set`` value: JSON for structured values, else the raw string.
+
+    Plain strings (including ``"256,512"`` grids and scalars) are
+    coerced by the workload's field specs; JSON objects/arrays cover
+    structured fields like graph families.
+    """
+    value = value.strip()
+    if value.startswith(("{", "[")):
+        import json
+
+        try:
+            return json.loads(value)
+        except ValueError as error:
+            raise ReproError(f"--set value is not valid JSON: {value!r} ({error})")
+    return value
+
+
+def _parse_overrides(pairs: Sequence[str]) -> dict:
+    overrides = {}
+    for pair in pairs:
+        key, separator, value = pair.partition("=")
+        key = key.strip()
+        if not separator or not key:
+            raise ReproError(f"--set needs FIELD=VALUE, got {pair!r}")
+        overrides[key] = _parse_override_value(value)
+    return overrides
+
+
+def _filter_experiment_ids(only: str | None, skip: str | None) -> list[str]:
+    """The ``all`` sweep's id list after ``--only`` / ``--skip`` filters."""
+    known = experiment_ids()
+
+    def parse(option: str, value: str) -> list[str]:
+        ids = []
+        for token in value.split(","):
+            token = token.strip().upper()
+            if not token:
+                continue
+            if token not in known:
+                raise ReproError(
+                    f"{option}: unknown experiment {token!r}; "
+                    f"known ids: {', '.join(known)}"
+                )
+            ids.append(token)
+        if not ids:
+            raise ReproError(f"{option} needs at least one experiment id")
+        return ids
+
+    selected = parse("--only", only) if only is not None else list(known)
+    skipped = set(parse("--skip", skip)) if skip is not None else set()
+    remaining = [experiment_id for experiment_id in selected if experiment_id not in skipped]
+    if not remaining:
+        raise ReproError("--only/--skip left no experiments to run")
+    return remaining
+
+
+def _scenario_command(args: "argparse.Namespace") -> None:
+    from repro.scenarios import iter_scenarios, resolve_scenario
+
+    if args.scenario_command == "list":
+        for scenario in iter_scenarios():
+            print(
+                f"{scenario.name:>18}  {scenario.experiment_id:<4} "
+                f"{scenario.description}"
+            )
+    elif args.scenario_command == "info":
+        scenario = resolve_scenario(args.name)
+        workload = scenario.workload()
+        print(f"[{scenario.name}] {scenario.experiment_id} (base: {scenario.base})")
+        if scenario.description:
+            print(f"  {scenario.description}")
+        print(f"  workload: {workload.describe()}")
+        import json
+
+        print(json.dumps(scenario.to_dict(), indent=2))
+    elif args.scenario_command == "run":
+        scenario = resolve_scenario(args.name)
+        _run_one(
+            scenario.experiment_id,
+            None,
+            args.seed,
+            args.out,
+            _effective_cache_dir(args),
+            workload=scenario.workload(),
+            file_tag=scenario.name,
+        )
+    elif args.scenario_command == "validate":
+        _validate_scenario_files(args.files)
+
+
+def _validate_scenario_files(files: Sequence[Path]) -> None:
+    """Schema-check scenario (or campaign) JSON files; any failure exits 1."""
+    import json
+
+    from repro.experiments.campaign import Campaign
+    from repro.scenarios import validate_scenario_dict
+
+    failures = 0
+    for path in files:
+        try:
+            text = path.read_text()
+            data = json.loads(text)
+            if isinstance(data, dict) and "entries" in data:
+                Campaign.from_json(text)
+                kind = "campaign"
+            else:
+                validate_scenario_dict(data)
+                kind = "scenario"
+        except (OSError, ValueError, ReproError) as error:
+            failures += 1
+            print(f"FAIL {path}: {error}")
+            continue
+        print(f"ok   {path} ({kind})")
+    if failures:
+        raise ReproError(f"{failures} of {len(files)} file(s) failed validation")
+
+
 def _campaign(
     file: Path, out: Path, jobs: int, cache_dir: Path | None, stream: bool
 ) -> None:
-    from repro.experiments.campaign import Campaign, iter_campaign, run_campaign
+    import json
 
-    description = Campaign.from_json(file.read_text())
+    from repro.experiments.campaign import Campaign, CampaignEntry, iter_campaign, run_campaign
+
+    text = file.read_text()
+    try:
+        raw = json.loads(text)
+    except ValueError as error:
+        raise ReproError(f"malformed campaign description: {error}") from None
+    if isinstance(raw, dict) and "entries" not in raw and "experiment_id" in raw:
+        # A scenario file: run it as a one-entry campaign.
+        from repro.scenarios import validate_scenario_dict
+
+        scenario = validate_scenario_dict(raw)
+        description = Campaign(
+            name=scenario.name,
+            entries=[
+                CampaignEntry(
+                    experiment_id=scenario.experiment_id, scenario=str(file)
+                )
+            ],
+        )
+        description.validate()
+    else:
+        description = Campaign.from_json(text)
     if stream:
         total = len(description.entries)
         entries = []
@@ -167,9 +366,10 @@ def _campaign(
                 status = "cached"
             else:
                 status = f"{record['seconds']}s"
+            base = record.get("scenario", record.get("mode"))
             print(
                 f"[{done}/{total}] {record['experiment_id']} "
-                f"({record['mode']}, seed {record['seed']}) {status}"
+                f"({base}, seed {record['seed']}) {status}"
             )
             entries.append(record)
         manifest = {"campaign": description.name, "entries": entries}
@@ -336,20 +536,27 @@ def _effective_cache_dir(args: argparse.Namespace) -> Path | None:
 
 
 def _run_one(
-    experiment_id: str, mode: str, seed: int, out: Path | None, cache_dir: Path | None
+    experiment_id: str,
+    mode: str | None,
+    seed: int,
+    out: Path | None,
+    cache_dir: Path | None,
+    workload=None,
+    file_tag: str | None = None,
 ) -> None:
     from repro.experiments import run_experiment_cached
 
     started = time.perf_counter()
     result, cached = run_experiment_cached(
-        experiment_id, mode=mode, seed=seed, cache_dir=cache_dir
+        experiment_id, mode=mode, seed=seed, workload=workload, cache_dir=cache_dir
     )
     elapsed = time.perf_counter() - started
     print(result.render())
     source = " (cached)" if cached else ""
     print(f"\n[{result.spec.experiment_id}] finished in {elapsed:.1f}s{source}")
     if out is not None:
-        path = out / f"{result.spec.experiment_id.lower()}_{mode}.json"
+        tag = file_tag if file_tag is not None else result.mode
+        path = out / f"{result.spec.experiment_id.lower()}_{tag}.json"
         result.save(path)
         print(f"[{result.spec.experiment_id}] saved to {path}")
 
@@ -379,11 +586,34 @@ def main(argv: Sequence[str] | None = None) -> int:
         elif args.command == "info":
             print(get_spec(args.experiment).header())
         elif args.command == "run":
-            _run_one(args.experiment, args.mode, args.seed, args.out, _effective_cache_dir(args))
+            workload = None
+            file_tag = None
+            overrides = _parse_overrides(args.overrides)
+            if overrides:
+                from repro.experiments import get_experiment
+                from repro.scenarios.base import overrides_digest
+
+                workload = get_experiment(args.experiment).preset(args.mode).with_overrides(
+                    overrides
+                )
+                # Distinct override sets must not clobber each other's
+                # output files; mirror the campaign layer's digest tags.
+                file_tag = f"{args.mode}-{overrides_digest(overrides)}"
+            _run_one(
+                args.experiment,
+                None if workload is not None else args.mode,
+                args.seed,
+                args.out,
+                _effective_cache_dir(args),
+                workload=workload,
+                file_tag=file_tag,
+            )
         elif args.command == "all":
-            for experiment_id in experiment_ids():
+            for experiment_id in _filter_experiment_ids(args.only, args.skip):
                 _run_one(experiment_id, args.mode, args.seed, args.out, _effective_cache_dir(args))
                 print()
+        elif args.command == "scenario":
+            _scenario_command(args)
         elif args.command == "graph-info":
             _graph_info(args.family, args.params, args.seed)
         elif args.command == "cover":

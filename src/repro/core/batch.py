@@ -70,7 +70,7 @@ from repro.core.runner import default_max_rounds
 from repro.errors import BackendError, CoverTimeoutError, InfectionTimeoutError
 from repro.graphs.base import Graph
 from repro.parallel import (
-    SharedGraph,
+    acquire_shared_graph,
     map_shards,
     pool_start_method,
     resolve_shared_graph,
@@ -475,19 +475,26 @@ def _run_sharded(
     """Shard ``n_replicas`` rows, seed each shard, run, return raw results.
 
     When the shards will run on a spawn-started pool (no ``fork``) the
-    graph is published once through a
-    :class:`~repro.parallel.SharedGraph` so every worker reattaches the
-    CSR arrays zero-copy instead of unpickling its own copy; the
-    segments are freed before returning, even on error.  A backend
-    travelling in ``parameters`` pickles as its spec string and
-    re-resolves inside each worker.
+    graph is published through a :class:`~repro.parallel.SharedGraph`
+    so every worker reattaches the CSR arrays zero-copy instead of
+    unpickling its own copy.  Inside an active
+    :func:`~repro.parallel.shared_graph_scope` (experiment runs and
+    campaign entries open one) the publication is cached and reused
+    across every ensemble call on the same graph — one copy per graph
+    per scope; otherwise the segments are freed before returning, even
+    on error.  A backend travelling in ``parameters`` pickles as its
+    spec string and re-resolves inside each worker.
     """
     bounds = shard_bounds(n_replicas, shard_size)
     seeds = spawn_seed_sequences(seed, len(bounds))
     tasks = [(start, stop, shard_seed) for (start, stop), shard_seed in zip(bounds, seeds)]
     if will_pool(jobs, len(tasks)) and pool_start_method() != "fork":
-        with SharedGraph(graph) as handle:
+        handle, caller_owns = acquire_shared_graph(graph)
+        try:
             return map_shards(kernel, (handle, *parameters), tasks, jobs=jobs)
+        finally:
+            if caller_owns:
+                handle.unlink()
     return map_shards(kernel, (graph, *parameters), tasks, jobs=jobs)
 
 

@@ -71,6 +71,16 @@ class ExperimentError(ReproError):
     """Raised for unknown experiment ids or malformed experiment results."""
 
 
+class ScenarioError(ExperimentError):
+    """Raised on invalid scenario or workload configuration.
+
+    Examples: an override naming a field the workload does not have, a
+    value that cannot be coerced to the field's type, an unknown
+    scenario name, a malformed scenario JSON file, or a graph-family
+    description the generators cannot build.
+    """
+
+
 class ParallelError(ReproError):
     """Raised on invalid parallel-execution configuration.
 

@@ -1,10 +1,14 @@
-"""Experiment registry: one module per paper claim, keyed ``E1`` .. ``E10``.
+"""Experiment registry: one module per paper claim, keyed ``E1`` .. ``E13``.
 
 Each module exposes ``SPEC`` (an
-:class:`~repro.experiments.spec.ExperimentSpec`) and
-``run(mode="quick"|"full", seed=0) -> ExperimentResult``.  Use
-:func:`get_experiment` / :func:`run_experiment` for access by id, or
-the CLI (``python -m repro``).
+:class:`~repro.experiments.spec.ExperimentSpec`), a ``WORKLOAD``
+dataclass type with a ``preset(mode)`` factory, and
+``run(workload=None, seed=0, *, mode=None) -> ExperimentResult`` —
+``run()`` alone is the quick preset, ``run(mode="full")`` the legacy
+shim, and ``run(workload)`` any bespoke
+:class:`~repro.scenarios.base.Workload`.  Use :func:`get_experiment` /
+:func:`run_experiment` for access by id, or the CLI
+(``python -m repro``).
 """
 
 from __future__ import annotations
@@ -111,19 +115,40 @@ def _parameter_value(value: Any) -> Any:
     return _NOT_A_PARAMETER
 
 
-def resolved_parameters(experiment_id: str, mode: str) -> dict[str, Any]:
+def resolved_parameters(
+    experiment_id: str, mode: str = "quick", workload: Any = None
+) -> dict[str, Any]:
     """The run-identity parameters of an experiment, computable *before* a run.
 
-    Covers the experiment's spec (version included) plus every
-    UPPER_CASE module-level workload constant with JSON-shaped data —
-    the values ``run`` reads to size its workload (and the values the
-    micro-scale test overrides patch).  Together with ``mode`` and
-    ``seed`` this determines what a run would compute, which is exactly
-    what the result cache must key on: patching ``QUICK_TRIALS`` (or
-    editing a constant in source) changes the key, so stale cache
-    entries can never shadow a differently-parameterised run.
+    For preset runs (``mode=``, or a workload exactly equal to the
+    quick/full preset) this is the legacy format: the experiment's spec
+    (version included) plus every UPPER_CASE module-level workload
+    constant with JSON-shaped data — the values the presets are built
+    from (and the values the micro-scale test overrides patch).
+    Keeping the legacy format means the workload refactor changed no
+    preset cache keys (golden-tested), and patching ``QUICK_TRIALS``
+    (or editing a constant in source) still changes the key, so stale
+    cache entries can never shadow a differently-parameterised run.
+
+    A bespoke ``workload`` is keyed by its canonical serialisation
+    instead: ``{"spec": ..., "mode": "scenario", "workload": ...}``.
+    Together with ``seed`` the returned dict determines what a run
+    would compute, which is exactly what the result cache must key on.
     """
+    from repro.scenarios.base import workload_label  # deferred: import cycle
+
     module = get_experiment(experiment_id)
+    if workload is not None and not isinstance(workload, str):
+        label = workload_label(module.preset, workload)
+        if label == "scenario":
+            return {
+                "spec": module.SPEC.to_dict(),
+                "mode": "scenario",
+                "workload": workload.to_dict(),
+            }
+        mode = label
+    elif isinstance(workload, str):
+        mode = workload
     constants = {}
     for name in sorted(vars(module)):
         if not name.isupper() or name.startswith("_") or name == "SPEC":
@@ -150,46 +175,80 @@ def _resolve_cache(
 def run_experiment_cached(
     experiment_id: str,
     *,
-    mode: str = "quick",
+    mode: str | None = None,
     seed: int = 0,
+    workload: Any = None,
     cache: "ResultCache | None" = None,
     cache_dir: Any | None = None,
 ) -> tuple[ExperimentResult, bool]:
     """Run one experiment, consulting a result cache when one is given.
 
-    Returns ``(result, cached)`` where ``cached`` is True when the
-    result came from the cache instead of being recomputed.  A fresh
-    computation is stored back, so the next identical call is a hit.
+    ``workload`` (a :class:`~repro.scenarios.base.Workload` of the
+    experiment's type) runs a bespoke configuration; ``mode`` the
+    quick/full preset (the default is quick).  Passing both is an
+    error.  Returns ``(result, cached)`` where ``cached`` is True when
+    the result came from the cache instead of being recomputed.  A
+    fresh computation is stored back, so the next identical call is a
+    hit.  Preset runs (including a workload exactly equal to a preset)
+    keep their pre-scenario cache keys; bespoke workloads are keyed by
+    their canonical JSON under the ``"scenario"`` mode label.
     """
+    from repro.parallel import shared_graph_scope
+    from repro.scenarios.base import workload_label
+
     module = get_experiment(experiment_id)
     store = _resolve_cache(cache, cache_dir)
     if store is None:
-        return module.run(mode=mode, seed=seed), False
-    parameters = resolved_parameters(experiment_id, mode)
-    hit = store.get(module.SPEC.experiment_id, mode, seed, parameters)
+        with shared_graph_scope():
+            return module.run(workload, seed=seed, mode=mode), False
+    if workload is None:
+        label = mode if mode is not None else "quick"
+        parameters = resolved_parameters(experiment_id, label)
+    else:
+        if mode is not None:
+            raise ExperimentError(
+                f"pass either workload= or mode=, not both "
+                f"(got mode={mode!r} and a workload)"
+            )
+        label = (
+            workload
+            if isinstance(workload, str)
+            else workload_label(module.preset, workload)
+        )
+        parameters = resolved_parameters(experiment_id, workload=workload)
+    hit = store.get(module.SPEC.experiment_id, label, seed, parameters)
     if hit is not None:
         return hit, True
-    result = module.run(mode=mode, seed=seed)
-    store.put(module.SPEC.experiment_id, mode, seed, parameters, result)
+    with shared_graph_scope():
+        result = module.run(workload, seed=seed, mode=mode)
+    store.put(module.SPEC.experiment_id, label, seed, parameters, result)
     return result, False
 
 
 def run_experiment(
     experiment_id: str,
     *,
-    mode: str = "quick",
+    mode: str | None = None,
     seed: int = 0,
+    workload: Any = None,
     cache: "ResultCache | None" = None,
     cache_dir: Any | None = None,
 ) -> ExperimentResult:
     """Run one experiment by id and return its result.
 
-    ``cache=`` (a :class:`~repro.cache.ResultCache`) or ``cache_dir=``
-    (a path) enables result caching: a previously stored identical run
-    is loaded instead of recomputed.
+    ``workload``/``mode`` select the configuration exactly as in
+    :func:`run_experiment_cached`.  ``cache=`` (a
+    :class:`~repro.cache.ResultCache`) or ``cache_dir=`` (a path)
+    enables result caching: a previously stored identical run is
+    loaded instead of recomputed.
     """
     result, _ = run_experiment_cached(
-        experiment_id, mode=mode, seed=seed, cache=cache, cache_dir=cache_dir
+        experiment_id,
+        mode=mode,
+        seed=seed,
+        workload=workload,
+        cache=cache,
+        cache_dir=cache_dir,
     )
     return result
 

@@ -1,7 +1,8 @@
 """Campaigns: batches of experiment runs with a saved manifest.
 
 A campaign is a declarative list of experiment runs — which ids, which
-mode, which seeds — executed in order with every result saved to disk
+mode (or named scenario, or workload overrides), which seeds —
+executed in order with every result saved to disk
 next to a manifest recording what was run, when, and where each result
 landed.  This is the reproducibility wrapper around the registry:
 ``EXPERIMENTS.md`` numbers come from a one-line campaign.
@@ -35,12 +36,12 @@ from pathlib import Path
 from typing import Any, Callable, Iterator
 
 from repro.backends import default_backend_spec, set_default_backend
-from repro.errors import ExperimentError
+from repro.errors import ExperimentError, ScenarioError
 from repro.experiments import get_spec, run_experiment_cached
 from repro.parallel import imap_shards, map_shards, resolve_jobs, set_default_jobs
 
 #: The only keys a campaign-entry description may carry.
-_ENTRY_KEYS = frozenset({"experiment_id", "mode", "seed"})
+_ENTRY_KEYS = frozenset({"experiment_id", "mode", "seed", "scenario", "overrides"})
 
 #: The modes an entry may request.
 _ENTRY_MODES = ("quick", "full")
@@ -48,25 +49,74 @@ _ENTRY_MODES = ("quick", "full")
 
 @dataclass(frozen=True)
 class CampaignEntry:
-    """One experiment run within a campaign."""
+    """One experiment run within a campaign.
+
+    Besides the classic ``(experiment_id, mode, seed)`` triple an entry
+    may name a ``scenario`` (a registry name or a scenario JSON file
+    path — the experiment id may then be omitted) and/or sparse
+    workload ``overrides`` layered on top of the base configuration.
+    ``mode`` and ``scenario`` are mutually exclusive: a scenario fixes
+    its own base preset.
+    """
 
     experiment_id: str
     mode: str = "quick"
     seed: int = 0
+    scenario: str | None = None
+    overrides: dict[str, Any] | None = None
 
     def to_dict(self) -> dict[str, Any]:
-        """Plain-dict form for the manifest."""
-        return {"experiment_id": self.experiment_id, "mode": self.mode, "seed": self.seed}
+        """Plain-dict form for the manifest (scenario keys only if set).
+
+        Scenario entries omit ``mode`` — the scenario fixes its own
+        base preset, and :meth:`from_dict` rejects the redundant pair —
+        so ``to_dict``/``from_dict`` round-trip exactly.
+        """
+        data: dict[str, Any] = {"experiment_id": self.experiment_id}
+        if self.scenario is None:
+            data["mode"] = self.mode
+        data["seed"] = self.seed
+        if self.scenario is not None:
+            data["scenario"] = self.scenario
+        if self.overrides:
+            data["overrides"] = dict(self.overrides)
+        return data
+
+    def resolve_workload(self):
+        """The entry's workload, or ``None`` for a plain preset entry.
+
+        Scenario names resolve against the built-in registry (or a JSON
+        file); overrides apply on top of the scenario's workload or the
+        ``mode`` preset.  Raises :class:`~repro.errors.ScenarioError`
+        on unknown scenarios or misfitting overrides.
+        """
+        if self.scenario is None and not self.overrides:
+            return None
+        from repro.experiments import get_experiment
+        from repro.scenarios.registry import resolve_scenario
+
+        if self.scenario is not None:
+            scenario = resolve_scenario(self.scenario)
+            if scenario.experiment_id.upper() != self.experiment_id.upper():
+                raise ScenarioError(
+                    f"campaign entry {self.experiment_id}: scenario "
+                    f"{self.scenario!r} belongs to {scenario.experiment_id}"
+                )
+            base = scenario.workload()
+        else:
+            base = get_experiment(self.experiment_id).preset(self.mode)
+        return base.with_overrides(self.overrides or {})
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "CampaignEntry":
         """Inverse of :meth:`to_dict`, validating the description strictly.
 
         Unknown keys (a typoed ``"Mode"`` would otherwise silently run
-        the default), non-string ids, bad modes, and non-integer seeds
-        are all :class:`ExperimentError`\\ s with the offending value in
-        the message, so a malformed campaign JSON fails before any work
-        is done rather than quietly running something else.
+        the default), non-string ids, bad modes, non-integer seeds,
+        unknown scenarios, and misfitting overrides are all
+        :class:`ExperimentError`\\ s with the offending value in the
+        message, so a malformed campaign JSON fails before any work is
+        done rather than quietly running something else.
         """
         if not isinstance(data, dict):
             raise ExperimentError(
@@ -78,23 +128,50 @@ class CampaignEntry:
                 f"campaign entry has unknown keys {unknown}; "
                 f"allowed keys are {sorted(_ENTRY_KEYS)}"
             )
-        if "experiment_id" not in data or not isinstance(data["experiment_id"], str):
+        scenario = data.get("scenario")
+        if scenario is not None and (not isinstance(scenario, str) or not scenario):
+            raise ExperimentError(
+                f"campaign entry: scenario must be a non-empty string, got {scenario!r}"
+            )
+        if scenario is not None and "mode" in data:
+            raise ExperimentError(
+                f"campaign entry: pass either 'scenario' or 'mode', not both "
+                f"(scenario {scenario!r} fixes its own base preset)"
+            )
+        experiment_id = data.get("experiment_id")
+        if scenario is not None and experiment_id is None:
+            from repro.scenarios.registry import resolve_scenario
+
+            experiment_id = resolve_scenario(scenario).experiment_id
+        if not isinstance(experiment_id, str):
             raise ExperimentError(
                 f"campaign entry needs a string 'experiment_id', got {data!r}"
             )
         mode = data.get("mode", "quick")
         if mode not in _ENTRY_MODES:
             raise ExperimentError(
-                f"campaign entry {data['experiment_id']}: mode must be one of "
+                f"campaign entry {experiment_id}: mode must be one of "
                 f"{list(_ENTRY_MODES)}, got {mode!r}"
             )
         seed = data.get("seed", 0)
         if isinstance(seed, bool) or not isinstance(seed, int):
             raise ExperimentError(
-                f"campaign entry {data['experiment_id']}: seed must be an "
+                f"campaign entry {experiment_id}: seed must be an "
                 f"integer, got {seed!r}"
             )
-        return cls(experiment_id=data["experiment_id"], mode=mode, seed=seed)
+        overrides = data.get("overrides")
+        if overrides is not None and not isinstance(overrides, dict):
+            raise ExperimentError(
+                f"campaign entry {experiment_id}: overrides must be an object, "
+                f"got {type(overrides).__name__}"
+            )
+        return cls(
+            experiment_id=experiment_id,
+            mode=mode,
+            seed=seed,
+            scenario=scenario,
+            overrides=overrides,
+        )
 
 
 @dataclass
@@ -105,7 +182,14 @@ class Campaign:
     entries: list[CampaignEntry] = field(default_factory=list)
 
     def validate(self) -> None:
-        """Fail fast on unknown ids or modes before any work is done."""
+        """Fail fast on unknown ids, modes, or scenarios before any work.
+
+        Scenario references and overrides are fully resolved here (the
+        workloads are rebuilt — not kept — so campaigns stay cheap to
+        validate), which surfaces unknown scenario names, missing
+        scenario files, and misfitting overrides with one clear error
+        each before any entry runs.
+        """
         if not self.name:
             raise ExperimentError("campaign name must be non-empty")
         if not self.entries:
@@ -117,6 +201,7 @@ class Campaign:
                     f"campaign entry {entry.experiment_id}: mode must be "
                     f"'quick' or 'full', got {entry.mode!r}"
                 )
+            entry.resolve_workload()  # raises on bad scenarios/overrides
 
     @classmethod
     def from_json(cls, text: str) -> "Campaign":
@@ -168,6 +253,33 @@ def _cache_dir_argument(cache: Any | None, cache_dir: str | Path | None) -> str 
     return None
 
 
+def _entry_stem(entry: CampaignEntry) -> str:
+    """Result-file stem: unique per distinct entry configuration.
+
+    Plain entries keep the historical ``<eid>_<mode>_s<seed>`` names
+    (warm manifests stay byte-identical).  Scenario entries use the
+    scenario name (a file path contributes its stem); any entry with
+    overrides appends a short digest of them, so two grid points of
+    the same experiment/scenario/seed cannot clobber each other's
+    files.
+    """
+    from repro.scenarios.base import overrides_digest
+
+    if entry.scenario is not None:
+        # Only a file path goes through Path.stem — registry names may
+        # legitimately contain dots and must not be truncated.
+        if entry.scenario.endswith(".json"):
+            tag = Path(entry.scenario).stem
+        else:
+            tag = entry.scenario
+        tag = tag.replace("/", "-")
+    else:
+        tag = entry.mode
+    if entry.overrides:
+        tag = f"{tag}-{overrides_digest(entry.overrides)}"
+    return f"{entry.experiment_id.lower()}_{tag}_s{entry.seed}"
+
+
 def _execute_entry(
     entry: CampaignEntry, directory: Path, cache_dir: str | None = None
 ) -> dict[str, Any]:
@@ -178,11 +290,16 @@ def _execute_entry(
     runs and worker counts once the cache is warm.
     """
     started = time.perf_counter()
+    workload = entry.resolve_workload()
     result, cached = run_experiment_cached(
-        entry.experiment_id, mode=entry.mode, seed=entry.seed, cache_dir=cache_dir
+        entry.experiment_id,
+        mode=None if workload is not None else entry.mode,
+        workload=workload,
+        seed=entry.seed,
+        cache_dir=cache_dir,
     )
     elapsed = 0.0 if cached else time.perf_counter() - started
-    stem = f"{entry.experiment_id.lower()}_{entry.mode}_s{entry.seed}"
+    stem = _entry_stem(entry)
     result.save(directory / f"{stem}.json")
     (directory / f"{stem}.txt").write_text(result.render() + "\n")
     return {
@@ -292,15 +409,17 @@ def run_campaign(
         records = []
         for entry in campaign.entries:
             if progress is not None:
-                progress(f"running {entry.experiment_id} ({entry.mode}, seed {entry.seed})")
+                base = entry.scenario if entry.scenario is not None else entry.mode
+                progress(f"running {entry.experiment_id} ({base}, seed {entry.seed})")
             records.append(_execute_entry(entry, directory, cache_dir=store_dir))
     else:
         tasks = [(entry.to_dict(),) for entry in campaign.entries]
 
         def report(index: int, record: dict[str, Any]) -> None:
             if progress is not None:
+                base = record.get("scenario", record.get("mode"))
                 progress(
-                    f"finished {record['experiment_id']} ({record['mode']}, "
+                    f"finished {record['experiment_id']} ({base}, "
                     f"seed {record['seed']}) in {record['seconds']}s"
                 )
 

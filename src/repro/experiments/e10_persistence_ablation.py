@@ -27,6 +27,8 @@ from repro.core.sis import SisProcess
 from repro.experiments.results import ExperimentResult
 from repro.experiments.spec import ExperimentSpec
 from repro.experiments.sweep import expander_with_gap
+from repro.scenarios.base import resolve_workload, result_parameters, workload_label
+from repro.scenarios.workloads import E10Workload
 
 SPEC = ExperimentSpec(
     experiment_id="E10",
@@ -46,17 +48,44 @@ QUICK_BIPS_TRIALS = 50
 FULL_BIPS_TRIALS = 200
 ROUND_CAP = 2000
 
+#: Workload type this experiment runs from.
+WORKLOAD = E10Workload
 
-def run(mode: str = "quick", seed: int = 0) -> ExperimentResult:
-    """Run E10 and return its tables and findings."""
+
+def preset(mode: str) -> E10Workload:
+    """The quick/full workload, built from the live module constants."""
     if mode == "quick":
-        sis_trials, bips_trials = QUICK_SIS_TRIALS, QUICK_BIPS_TRIALS
-    elif mode == "full":
-        sis_trials, bips_trials = FULL_SIS_TRIALS, FULL_BIPS_TRIALS
-    else:
-        raise ValueError(f"mode must be 'quick' or 'full', got {mode!r}")
+        return E10Workload(
+            n=GRAPH_N,
+            r=GRAPH_R,
+            sis_trials=QUICK_SIS_TRIALS,
+            bips_trials=QUICK_BIPS_TRIALS,
+            round_cap=ROUND_CAP,
+        )
+    if mode == "full":
+        return E10Workload(
+            n=GRAPH_N,
+            r=GRAPH_R,
+            sis_trials=FULL_SIS_TRIALS,
+            bips_trials=FULL_BIPS_TRIALS,
+            round_cap=ROUND_CAP,
+        )
+    raise ValueError(f"mode must be 'quick' or 'full', got {mode!r}")
 
-    graph, lam = expander_with_gap(GRAPH_N, GRAPH_R, seed=seed)
+
+def run(
+    workload: "E10Workload | str | None" = None,
+    seed: int = 0,
+    *,
+    mode: str | None = None,
+) -> ExperimentResult:
+    """Run E10 and return its tables and findings."""
+    wl = resolve_workload(E10Workload, preset, workload, mode)
+    label = workload_label(preset, wl)
+    sis_trials, bips_trials = wl.sis_trials, wl.bips_trials
+    round_cap = wl.round_cap
+
+    graph, lam = expander_with_gap(wl.n, wl.r, seed=seed)
 
     outcomes = Table(
         ["process", "branching", "trials", "extinct", "full infection", "timeout"]
@@ -71,7 +100,7 @@ def run(mode: str = "quick", seed: int = 0) -> ExperimentResult:
         timeouts = 0
         for rng in spawn_generators((seed, int(branching), 101), sis_trials):
             process = SisProcess(graph, 0, branching=branching, seed=rng)
-            result = run_process(process, max_rounds=ROUND_CAP)
+            result = run_process(process, max_rounds=round_cap)
             if result.extinct:
                 extinction_times.append(process.extinction_time)
             elif result.completed:
@@ -98,7 +127,7 @@ def run(mode: str = "quick", seed: int = 0) -> ExperimentResult:
     bips_times: list[int] = []
     for rng in spawn_generators((seed, 3, 102), bips_trials):
         process = BipsProcess(graph, 0, branching=2.0, seed=rng)
-        result = run_process(process, max_rounds=ROUND_CAP, raise_on_timeout=True)
+        result = run_process(process, max_rounds=round_cap, raise_on_timeout=True)
         bips_times.append(result.completion_time)
     bips_stats = summarize(bips_times)
     outcomes.add_row(["BIPS (persistent)", 2.0, bips_trials, 0, bips_trials, 0])
@@ -119,16 +148,20 @@ def run(mode: str = "quick", seed: int = 0) -> ExperimentResult:
     ]
     return ExperimentResult(
         spec=SPEC,
-        mode=mode,
+        mode=label,
         seed=seed,
-        parameters={
-            "n": GRAPH_N,
-            "r": GRAPH_R,
-            "lambda": lam,
-            "sis_trials": sis_trials,
-            "bips_trials": bips_trials,
-            "round_cap": ROUND_CAP,
-        },
+        parameters=result_parameters(
+            label,
+            wl,
+            {
+                "n": wl.n,
+                "r": wl.r,
+                "lambda": lam,
+                "sis_trials": sis_trials,
+                "bips_trials": bips_trials,
+                "round_cap": round_cap,
+            },
+        ),
         tables={"outcomes": outcomes, "details": details},
         findings=findings,
     )

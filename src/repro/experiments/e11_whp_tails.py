@@ -36,6 +36,8 @@ from repro.experiments.results import ExperimentResult
 from repro.experiments.spec import ExperimentSpec
 from repro.experiments.sweep import expander_with_gap
 from repro.graphs.generators import complete
+from repro.scenarios.base import resolve_workload, result_parameters, workload_label
+from repro.scenarios.workloads import E11Workload
 
 SPEC = ExperimentSpec(
     experiment_id="E11",
@@ -56,26 +58,45 @@ FULL_LADDER = (256, 512, 1024, 2048, 4096)
 QUICK_LADDER_SAMPLES = 200
 FULL_LADDER_SAMPLES = 500
 
+#: Workload type this experiment runs from.
+WORKLOAD = E11Workload
 
-def run(mode: str = "quick", seed: int = 0) -> ExperimentResult:
-    """Run E11 and return its tables and findings."""
+
+def preset(mode: str) -> E11Workload:
+    """The quick/full workload, built from the live module constants."""
     if mode == "quick":
-        tail_samples, ladder, ladder_samples = (
-            QUICK_TAIL_SAMPLES,
-            QUICK_LADDER,
-            QUICK_LADDER_SAMPLES,
+        return E11Workload(
+            tail_n=TAIL_GRAPH_N,
+            tail_r=TAIL_GRAPH_R,
+            tail_samples=QUICK_TAIL_SAMPLES,
+            ladder=QUICK_LADDER,
+            ladder_samples=QUICK_LADDER_SAMPLES,
         )
-    elif mode == "full":
-        tail_samples, ladder, ladder_samples = (
-            FULL_TAIL_SAMPLES,
-            FULL_LADDER,
-            FULL_LADDER_SAMPLES,
+    if mode == "full":
+        return E11Workload(
+            tail_n=TAIL_GRAPH_N,
+            tail_r=TAIL_GRAPH_R,
+            tail_samples=FULL_TAIL_SAMPLES,
+            ladder=FULL_LADDER,
+            ladder_samples=FULL_LADDER_SAMPLES,
         )
-    else:
-        raise ValueError(f"mode must be 'quick' or 'full', got {mode!r}")
+    raise ValueError(f"mode must be 'quick' or 'full', got {mode!r}")
+
+
+def run(
+    workload: "E11Workload | str | None" = None,
+    seed: int = 0,
+    *,
+    mode: str | None = None,
+) -> ExperimentResult:
+    """Run E11 and return its tables and findings."""
+    wl = resolve_workload(E11Workload, preset, workload, mode)
+    run_label = workload_label(preset, wl)
+    tail_samples, ladder, ladder_samples = wl.tail_samples, wl.ladder, wl.ladder_samples
+    tail_n, tail_r = wl.tail_n, wl.tail_r
 
     # --- geometric tails on a fixed expander ---------------------------
-    graph, lam = expander_with_gap(TAIL_GRAPH_N, TAIL_GRAPH_R, seed=seed)
+    graph, lam = expander_with_gap(tail_n, tail_r, seed=seed)
     tails = Table(
         ["process", "samples", "mean", "p99", "max", "tail rate / round", "halving time"]
     )
@@ -106,7 +127,7 @@ def run(mode: str = "quick", seed: int = 0) -> ExperimentResult:
         survival_series,
         log_y=True,
         title=(
-            f"E11: survival P(time > t), n={TAIL_GRAPH_N} expander "
+            f"E11: survival P(time > t), n={tail_n} expander "
             "(straight line on log y = geometric tail)"
         ),
         x_label="t (rounds)",
@@ -117,7 +138,7 @@ def run(mode: str = "quick", seed: int = 0) -> ExperimentResult:
     concentration = Table(["n", "mean cov", "p99", "max", "p99/mean", "max/mean"])
     spreads: list[float] = []
     for offset, n in enumerate(ladder):
-        ladder_graph, _ = expander_with_gap(n, TAIL_GRAPH_R, seed=seed + 50 + offset)
+        ladder_graph, _ = expander_with_gap(n, tail_r, seed=seed + 50 + offset)
         times = sample_completion_times(
             lambda rng: CobraProcess(ladder_graph, 0, seed=rng),
             ladder_samples,
@@ -152,7 +173,7 @@ def run(mode: str = "quick", seed: int = 0) -> ExperimentResult:
         (
             f"upper tails are geometric: per-round decay rates "
             f"{rates['COBRA k=2']:.3f} (COBRA) and {rates['BIPS k=2']:.3f} (BIPS) "
-            f"on the n={TAIL_GRAPH_N} expander — straight lines on log-survival axes"
+            f"on the n={tail_n} expander — straight lines on log-survival axes"
         ),
         (
             f"concentration across the ladder: max/mean stays within "
@@ -168,14 +189,18 @@ def run(mode: str = "quick", seed: int = 0) -> ExperimentResult:
     ]
     return ExperimentResult(
         spec=SPEC,
-        mode=mode,
+        mode=run_label,
         seed=seed,
-        parameters={
-            "tail_graph": {"n": TAIL_GRAPH_N, "r": TAIL_GRAPH_R, "lambda": lam},
-            "tail_samples": tail_samples,
-            "ladder": list(ladder),
-            "ladder_samples": ladder_samples,
-        },
+        parameters=result_parameters(
+            run_label,
+            wl,
+            {
+                "tail_graph": {"n": tail_n, "r": tail_r, "lambda": lam},
+                "tail_samples": tail_samples,
+                "ladder": list(ladder),
+                "ladder_samples": ladder_samples,
+            },
+        ),
         tables={
             "geometric tail fits": tails,
             "concentration across n": concentration,

@@ -27,6 +27,8 @@ from repro.core.dynamic import (
 from repro.core.runner import run_process
 from repro.experiments.results import ExperimentResult
 from repro.experiments.spec import ExperimentSpec
+from repro.scenarios.base import resolve_workload, result_parameters, workload_label
+from repro.scenarios.workloads import E12Workload
 
 SPEC = ExperimentSpec(
     experiment_id="E12",
@@ -45,25 +47,44 @@ FULL_SAMPLES = 15
 DEGREE = 8
 PERIODS = (1, 4, 10_000_000)  # fresh every round / every 4 / effectively static
 
+#: Workload type this experiment runs from.
+WORKLOAD = E12Workload
+
+
+def preset(mode: str) -> E12Workload:
+    """The quick/full workload, built from the live module constants."""
+    if mode == "quick":
+        return E12Workload(
+            sizes=QUICK_SIZES, samples=QUICK_SAMPLES, degree=DEGREE, periods=PERIODS
+        )
+    if mode == "full":
+        return E12Workload(
+            sizes=FULL_SIZES, samples=FULL_SAMPLES, degree=DEGREE, periods=PERIODS
+        )
+    raise ValueError(f"mode must be 'quick' or 'full', got {mode!r}")
+
 
 def _period_label(period: int) -> str:
     return "static" if period >= 10_000_000 else f"period={period}"
 
 
-def run(mode: str = "quick", seed: int = 0) -> ExperimentResult:
+def run(
+    workload: "E12Workload | str | None" = None,
+    seed: int = 0,
+    *,
+    mode: str | None = None,
+) -> ExperimentResult:
     """Run E12 and return its tables and findings."""
-    if mode == "quick":
-        sizes, samples = QUICK_SIZES, QUICK_SAMPLES
-    elif mode == "full":
-        sizes, samples = FULL_SIZES, FULL_SAMPLES
-    else:
-        raise ValueError(f"mode must be 'quick' or 'full', got {mode!r}")
+    wl = resolve_workload(E12Workload, preset, workload, mode)
+    run_mode = workload_label(preset, wl)
+    sizes, samples = wl.sizes, wl.samples
+    periods = wl.periods
 
     table = Table(["regime", "n", "mean cov", "mean infec"])
     fits = Table(["regime", "process", "slope b", "R^2"])
     slope_pairs: dict[str, float] = {}
     cover_by_regime: dict[str, list[float]] = {}
-    for period in PERIODS:
+    for period in periods:
         label = _period_label(period)
         cover_means: list[float] = []
         infect_means: list[float] = []
@@ -74,14 +95,14 @@ def run(mode: str = "quick", seed: int = 0) -> ExperimentResult:
                 spawn_generators((seed, n, period % 1000, 12), samples)
             ):
                 provider = EvolvingRegularGraph(
-                    n, DEGREE, period=period, seed=(seed, n, period % 1000, replica)
+                    n, wl.degree, period=period, seed=(seed, n, period % 1000, replica)
                 )
                 process = DynamicCobraProcess(provider, 0, branching=2.0, seed=rng)
                 result = run_process(process, raise_on_timeout=True)
                 cover_times.append(result.completion_time)
 
                 provider2 = EvolvingRegularGraph(
-                    n, DEGREE, period=period, seed=(seed, n, period % 1000, replica, 2)
+                    n, wl.degree, period=period, seed=(seed, n, period % 1000, replica, 2)
                 )
                 bips = DynamicBipsProcess(provider2, 0, branching=2.0, seed=rng)
                 result2 = run_process(bips, raise_on_timeout=True)
@@ -99,10 +120,10 @@ def run(mode: str = "quick", seed: int = 0) -> ExperimentResult:
         slope_pairs[label] = cover_fit.slope
         cover_by_regime[label] = cover_means
 
-    fresh_slope = slope_pairs[_period_label(1)]
-    static_slope = slope_pairs[_period_label(PERIODS[-1])]
-    fresh_covers = cover_by_regime[_period_label(1)]
-    static_covers = cover_by_regime[_period_label(PERIODS[-1])]
+    fresh_slope = slope_pairs[_period_label(periods[0])]
+    static_slope = slope_pairs[_period_label(periods[-1])]
+    fresh_covers = cover_by_regime[_period_label(periods[0])]
+    static_covers = cover_by_regime[_period_label(periods[-1])]
     churn_ratios = [fresh / static for fresh, static in zip(fresh_covers, static_covers)]
     worst_ratio = max(churn_ratios)
     findings = [
@@ -120,14 +141,18 @@ def run(mode: str = "quick", seed: int = 0) -> ExperimentResult:
     ]
     return ExperimentResult(
         spec=SPEC,
-        mode=mode,
+        mode=run_mode,
         seed=seed,
-        parameters={
-            "sizes": list(sizes),
-            "degree": DEGREE,
-            "samples": samples,
-            "periods": [_period_label(p) for p in PERIODS],
-        },
+        parameters=result_parameters(
+            run_mode,
+            wl,
+            {
+                "sizes": list(sizes),
+                "degree": wl.degree,
+                "samples": samples,
+                "periods": [_period_label(p) for p in periods],
+            },
+        ),
         tables={"cover/infection times": table, "log-n fits": fits},
         findings=findings,
     )

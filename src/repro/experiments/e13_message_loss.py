@@ -29,6 +29,8 @@ from repro.experiments.results import ExperimentResult
 from repro.experiments.spec import ExperimentSpec
 from repro.experiments.sweep import expander_with_gap
 from repro.graphs.generators import complete, cycle, petersen
+from repro.scenarios.base import resolve_workload, result_parameters, workload_label
+from repro.scenarios.workloads import E13Workload
 
 SPEC = ExperimentSpec(
     experiment_id="E13",
@@ -52,15 +54,40 @@ FULL_SAMPLES = 1000
 ROUND_CAP = 3000
 EXACT_T_MAX = 10
 
+#: Workload type this experiment runs from.
+WORKLOAD = E13Workload
 
-def run(mode: str = "quick", seed: int = 0) -> ExperimentResult:
-    """Run E13 and return its tables and findings."""
+
+def preset(mode: str) -> E13Workload:
+    """The quick/full workload, built from the live module constants."""
     if mode == "quick":
         samples = QUICK_SAMPLES
     elif mode == "full":
         samples = FULL_SAMPLES
     else:
         raise ValueError(f"mode must be 'quick' or 'full', got {mode!r}")
+    return E13Workload(
+        n=GRAPH_N,
+        r=GRAPH_R,
+        loss_rates=LOSS_RATES,
+        critical_sweep=CRITICAL_SWEEP,
+        samples=samples,
+        round_cap=ROUND_CAP,
+        exact_t_max=EXACT_T_MAX,
+    )
+
+
+def run(
+    workload: "E13Workload | str | None" = None,
+    seed: int = 0,
+    *,
+    mode: str | None = None,
+) -> ExperimentResult:
+    """Run E13 and return its tables and findings."""
+    wl = resolve_workload(E13Workload, preset, workload, mode)
+    run_mode = workload_label(preset, wl)
+    samples = wl.samples
+    graph_n, round_cap = wl.n, wl.round_cap
 
     # --- exact lossy duality --------------------------------------------
     exact = Table(
@@ -78,7 +105,7 @@ def run(mode: str = "quick", seed: int = 0) -> ExperimentResult:
                     graph,
                     start,
                     source,
-                    EXACT_T_MAX,
+                    wl.exact_t_max,
                     branching=branching,
                     loss_probability=loss,
                 )
@@ -86,7 +113,7 @@ def run(mode: str = "quick", seed: int = 0) -> ExperimentResult:
                 exact.add_row([label, branching, loss, gap])
 
     # --- cost of loss on an expander -------------------------------------
-    graph, lam = expander_with_gap(GRAPH_N, GRAPH_R, seed=seed)
+    graph, lam = expander_with_gap(graph_n, wl.r, seed=seed)
     cost = Table(
         [
             "loss p",
@@ -98,12 +125,12 @@ def run(mode: str = "quick", seed: int = 0) -> ExperimentResult:
         ]
     )
     cobra_means: dict[float, float] = {}
-    for loss in LOSS_RATES:
+    for loss in wl.loss_rates:
         cover_times: list[int] = []
         deaths = 0
         for rng in spawn_generators((seed, int(loss * 100), 131), samples):
             process = CobraProcess(graph, 0, branching=2.0, loss_probability=loss, seed=rng)
-            result = run_process(process, max_rounds=ROUND_CAP)
+            result = run_process(process, max_rounds=round_cap)
             if result.completed:
                 cover_times.append(result.completion_time)
             elif result.extinct:
@@ -117,9 +144,9 @@ def run(mode: str = "quick", seed: int = 0) -> ExperimentResult:
         reach_all_times: list[int] = []
         for rng in spawn_generators((seed, int(loss * 100), 132), max(samples // 4, 25)):
             process = BipsProcess(graph, 0, branching=2.0, loss_probability=loss, seed=rng)
-            while process.cumulative_count < GRAPH_N and process.round_index < ROUND_CAP:
+            while process.cumulative_count < graph_n and process.round_index < round_cap:
                 process.step()
-            if process.cumulative_count < GRAPH_N:
+            if process.cumulative_count < graph_n:
                 raise RuntimeError("lossy BIPS failed to reach every vertex in the cap")
             reach_all_times.append(process.round_index)
         ci = proportion_ci(deaths, samples)
@@ -140,12 +167,12 @@ def run(mode: str = "quick", seed: int = 0) -> ExperimentResult:
     transition = Table(
         ["loss p", "effective k", "covered", "died", "P(cover)"]
     )
-    for loss in CRITICAL_SWEEP:
+    for loss in wl.critical_sweep:
         covered = 0
         died = 0
         for rng in spawn_generators((seed, int(loss * 1000), 133), samples):
             process = CobraProcess(graph, 0, branching=2.0, loss_probability=loss, seed=rng)
-            result = run_process(process, max_rounds=ROUND_CAP)
+            result = run_process(process, max_rounds=round_cap)
             if result.completed:
                 covered += 1
             elif result.extinct:
@@ -154,7 +181,7 @@ def run(mode: str = "quick", seed: int = 0) -> ExperimentResult:
             [loss, 2.0 * (1.0 - loss), covered, died, covered / samples]
         )
 
-    slowdown = cobra_means[LOSS_RATES[-1]] / cobra_means[0.0]
+    slowdown = cobra_means[wl.loss_rates[-1]] / cobra_means[0.0]
     cover_probabilities = dict(
         zip(transition.column("loss p"), transition.column("P(cover)"))
     )
@@ -162,14 +189,16 @@ def run(mode: str = "quick", seed: int = 0) -> ExperimentResult:
         f"the duality holds exactly under loss: worst gap {worst_gap:.2e} "
         "across graphs, branchings and loss rates (float noise)",
         (
-            f"loss is an effective branching reduction: at p = {LOSS_RATES[-1]} "
-            f"(effective k = {2 * (1 - LOSS_RATES[-1]):.1f}) mean cover is "
+            f"loss is an effective branching reduction: at p = {wl.loss_rates[-1]} "
+            f"(effective k = {2 * (1 - wl.loss_rates[-1]):.1f}) mean cover is "
             f"x{slowdown:.1f} the lossless time, mirroring Theorem 3's 1/rho slope"
         ),
         (
             f"a phase transition sits at (1-p)k = 1 (p = 0.5 for k = 2): cover "
-            f"probability drops from {cover_probabilities[0.40]:.2f} at p = 0.40 to "
-            f"{cover_probabilities[0.60]:.2f} at p = 0.60 — below threshold the token "
+            f"probability drops from {cover_probabilities[wl.critical_sweep[0]]:.2f} "
+            f"at p = {wl.critical_sweep[0]:.2f} to "
+            f"{cover_probabilities[wl.critical_sweep[-1]]:.2f} at "
+            f"p = {wl.critical_sweep[-1]:.2f} — below threshold the token "
             "population dies before covering, Theorem 3's rho > 0 condition seen "
             "from the other side"
         ),
@@ -179,15 +208,19 @@ def run(mode: str = "quick", seed: int = 0) -> ExperimentResult:
     ]
     return ExperimentResult(
         spec=SPEC,
-        mode=mode,
+        mode=run_mode,
         seed=seed,
-        parameters={
-            "n": GRAPH_N,
-            "r": GRAPH_R,
-            "lambda": lam,
-            "loss_rates": list(LOSS_RATES),
-            "samples": samples,
-        },
+        parameters=result_parameters(
+            run_mode,
+            wl,
+            {
+                "n": graph_n,
+                "r": wl.r,
+                "lambda": lam,
+                "loss_rates": list(wl.loss_rates),
+                "samples": samples,
+            },
+        ),
         tables={
             "exact lossy duality": exact,
             "cost of loss": cost,

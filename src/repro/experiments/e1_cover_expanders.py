@@ -19,6 +19,8 @@ from repro.experiments.results import ExperimentResult
 from repro.experiments.spec import ExperimentSpec
 from repro.experiments.sweep import expander_with_gap, measure_cobra_cover
 from repro.graphs.generators import complete
+from repro.scenarios.base import resolve_workload, result_parameters, workload_label
+from repro.scenarios.workloads import E1Workload
 from repro.theory.bounds import cover_time_bound, spectral_condition_holds
 
 SPEC = ExperimentSpec(
@@ -42,15 +44,29 @@ FULL_SIZES = (256, 512, 1024, 2048, 4096, 8192)
 FULL_DEGREES = (3, 8, 32, 64)
 FULL_SAMPLES = 30
 
+#: Workload type this experiment runs from.
+WORKLOAD = E1Workload
 
-def run(mode: str = "quick", seed: int = 0) -> ExperimentResult:
-    """Run E1 and return its tables, figure, and findings."""
+
+def preset(mode: str) -> E1Workload:
+    """The quick/full workload, built from the live module constants."""
     if mode == "quick":
-        sizes, degrees, samples = QUICK_SIZES, QUICK_DEGREES, QUICK_SAMPLES
-    elif mode == "full":
-        sizes, degrees, samples = FULL_SIZES, FULL_DEGREES, FULL_SAMPLES
-    else:
-        raise ValueError(f"mode must be 'quick' or 'full', got {mode!r}")
+        return E1Workload(sizes=QUICK_SIZES, degrees=QUICK_DEGREES, samples=QUICK_SAMPLES)
+    if mode == "full":
+        return E1Workload(sizes=FULL_SIZES, degrees=FULL_DEGREES, samples=FULL_SAMPLES)
+    raise ValueError(f"mode must be 'quick' or 'full', got {mode!r}")
+
+
+def run(
+    workload: "E1Workload | str | None" = None,
+    seed: int = 0,
+    *,
+    mode: str | None = None,
+) -> ExperimentResult:
+    """Run E1 and return its tables, figure, and findings."""
+    wl = resolve_workload(E1Workload, preset, workload, mode)
+    label = workload_label(preset, wl)
+    sizes, degrees, samples = wl.sizes, wl.degrees, wl.samples
 
     measurements = Table(
         ["n", "r", "lambda", "condition", "mean cov", "median", "max", "T = log n/(1-l)^3"]
@@ -67,7 +83,7 @@ def run(mode: str = "quick", seed: int = 0) -> ExperimentResult:
             graph, lam = expander_with_gap(n, r, seed=graph_seed)
             graph_seed += 1
             result = measure_cobra_cover(
-                graph, n_samples=samples, seed=(seed, n, r), branching=2.0
+                graph, n_samples=samples, seed=(seed, n, r), branching=wl.branching
             )
             measurements.add_row(
                 [
@@ -94,7 +110,9 @@ def run(mode: str = "quick", seed: int = 0) -> ExperimentResult:
 
     for n in sizes:
         graph = complete(n)
-        result = measure_cobra_cover(graph, n_samples=samples, seed=(seed, n, 999_983))
+        result = measure_cobra_cover(
+            graph, n_samples=samples, seed=(seed, n, 999_983), branching=wl.branching
+        )
         complete_rows.add_row(
             [n, 1.0 / (n - 1), result.stats.mean, result.stats.mean / math.log2(n)]
         )
@@ -120,15 +138,19 @@ def run(mode: str = "quick", seed: int = 0) -> ExperimentResult:
     ]
     return ExperimentResult(
         spec=SPEC,
-        mode=mode,
+        mode=label,
         seed=seed,
-        parameters={
-            "sizes": list(sizes),
-            "degrees": list(degrees),
-            "samples": samples,
-            "branching": 2.0,
-            "engine": "batch",
-        },
+        parameters=result_parameters(
+            label,
+            wl,
+            {
+                "sizes": list(sizes),
+                "degrees": list(degrees),
+                "samples": samples,
+                "branching": wl.branching,
+                "engine": "batch",
+            },
+        ),
         tables={
             "cover times": measurements,
             "log-n fits per degree": fits,

@@ -16,10 +16,13 @@ from repro.analysis.tables import Table
 from repro.experiments.results import ExperimentResult
 from repro.experiments.spec import ExperimentSpec
 from repro.experiments.sweep import (
-    expander_with_gap,
+    family_with_gap,
     measure_bips_infection,
     measure_cobra_cover,
 )
+from repro.scenarios.base import resolve_workload, result_parameters, workload_label
+from repro.scenarios.families import GraphFamily
+from repro.scenarios.workloads import E2Workload
 from repro.theory.bounds import cover_time_bound
 
 SPEC = ExperimentSpec(
@@ -41,15 +44,30 @@ FULL_SIZES = (256, 512, 1024, 2048, 4096, 8192)
 FULL_SAMPLES = 30
 DEGREE = 8
 
+#: Workload type this experiment runs from.
+WORKLOAD = E2Workload
 
-def run(mode: str = "quick", seed: int = 0) -> ExperimentResult:
-    """Run E2 and return its tables, figure, and findings."""
+
+def preset(mode: str) -> E2Workload:
+    """The quick/full workload, built from the live module constants."""
+    family = GraphFamily("random_regular", {"degree": DEGREE})
     if mode == "quick":
-        sizes, samples = QUICK_SIZES, QUICK_SAMPLES
-    elif mode == "full":
-        sizes, samples = FULL_SIZES, FULL_SAMPLES
-    else:
-        raise ValueError(f"mode must be 'quick' or 'full', got {mode!r}")
+        return E2Workload(sizes=QUICK_SIZES, samples=QUICK_SAMPLES, family=family)
+    if mode == "full":
+        return E2Workload(sizes=FULL_SIZES, samples=FULL_SAMPLES, family=family)
+    raise ValueError(f"mode must be 'quick' or 'full', got {mode!r}")
+
+
+def run(
+    workload: "E2Workload | str | None" = None,
+    seed: int = 0,
+    *,
+    mode: str | None = None,
+) -> ExperimentResult:
+    """Run E2 and return its tables, figure, and findings."""
+    wl = resolve_workload(E2Workload, preset, workload, mode)
+    label = workload_label(preset, wl)
+    sizes, samples = wl.sizes, wl.samples
 
     table = Table(
         ["n", "lambda", "mean infec", "mean cov", "infec/cov", "T bound"]
@@ -59,12 +77,15 @@ def run(mode: str = "quick", seed: int = 0) -> ExperimentResult:
     cover_means: list[float] = []
     ratios: list[float] = []
     for offset, n in enumerate(sizes):
-        graph, lam = expander_with_gap(n, DEGREE, seed=seed + offset)
+        graph, lam = family_with_gap(wl.family, n, seed=seed + offset)
         bips = measure_bips_infection(graph, n_samples=samples, seed=(seed, n, 1))
         cobra = measure_cobra_cover(graph, n_samples=samples, seed=(seed, n, 2))
         ratio = bips.stats.mean / cobra.stats.mean
+        # Bipartite family members (e.g. hypercubes) have lambda = 1,
+        # where Theorem 1's bound is vacuous.
+        bound = cover_time_bound(n, lam) if lam < 1.0 else float("inf")
         table.add_row(
-            [n, lam, bips.stats.mean, cobra.stats.mean, ratio, cover_time_bound(n, lam)]
+            [n, lam, bips.stats.mean, cobra.stats.mean, ratio, bound]
         )
         ns.append(float(n))
         infection_means.append(bips.stats.mean)
@@ -80,7 +101,7 @@ def run(mode: str = "quick", seed: int = 0) -> ExperimentResult:
     figure = ascii_plot(
         {"BIPS infec": (ns, infection_means), "COBRA cov": (ns, cover_means)},
         log_x=True,
-        title=f"E2: completion time vs n (log x), random {DEGREE}-regular graphs",
+        title=f"E2: completion time vs n (log x), {wl.family.label()} graphs",
         x_label="n",
         y_label="rounds",
     )
@@ -94,14 +115,18 @@ def run(mode: str = "quick", seed: int = 0) -> ExperimentResult:
     ]
     return ExperimentResult(
         spec=SPEC,
-        mode=mode,
+        mode=label,
         seed=seed,
-        parameters={
-            "sizes": list(sizes),
-            "degree": DEGREE,
-            "samples": samples,
-            "engine": "batch",
-        },
+        parameters=result_parameters(
+            label,
+            wl,
+            {
+                "sizes": list(sizes),
+                "degree": wl.family.params.get("degree", DEGREE),
+                "samples": samples,
+                "engine": "batch",
+            },
+        ),
         tables={"BIPS vs COBRA": table, "log-n fits": fits},
         figures={"completion vs n": figure},
         findings=findings,

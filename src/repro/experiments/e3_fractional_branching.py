@@ -18,6 +18,8 @@ from repro.analysis.tables import Table
 from repro.experiments.results import ExperimentResult
 from repro.experiments.spec import ExperimentSpec
 from repro.experiments.sweep import expander_with_gap, measure_cobra_cover
+from repro.scenarios.base import resolve_workload, result_parameters, workload_label
+from repro.scenarios.workloads import E3Workload
 
 SPEC = ExperimentSpec(
     experiment_id="E3",
@@ -40,19 +42,37 @@ FULL_RHOS = (0.05, 0.1, 0.25, 0.5, 1.0)
 FULL_SAMPLES = 25
 DEGREE = 8
 
+#: Workload type this experiment runs from.
+WORKLOAD = E3Workload
 
-def run(mode: str = "quick", seed: int = 0) -> ExperimentResult:
-    """Run E3 and return its tables, figure, and findings."""
+
+def preset(mode: str) -> E3Workload:
+    """The quick/full workload, built from the live module constants."""
     if mode == "quick":
-        sizes, rhos, samples = QUICK_SIZES, QUICK_RHOS, QUICK_SAMPLES
-    elif mode == "full":
-        sizes, rhos, samples = FULL_SIZES, FULL_RHOS, FULL_SAMPLES
-    else:
-        raise ValueError(f"mode must be 'quick' or 'full', got {mode!r}")
+        return E3Workload(
+            sizes=QUICK_SIZES, rhos=QUICK_RHOS, samples=QUICK_SAMPLES, degree=DEGREE
+        )
+    if mode == "full":
+        return E3Workload(
+            sizes=FULL_SIZES, rhos=FULL_RHOS, samples=FULL_SAMPLES, degree=DEGREE
+        )
+    raise ValueError(f"mode must be 'quick' or 'full', got {mode!r}")
+
+
+def run(
+    workload: "E3Workload | str | None" = None,
+    seed: int = 0,
+    *,
+    mode: str | None = None,
+) -> ExperimentResult:
+    """Run E3 and return its tables, figure, and findings."""
+    wl = resolve_workload(E3Workload, preset, workload, mode)
+    label = workload_label(preset, wl)
+    sizes, rhos, samples = wl.sizes, wl.rhos, wl.samples
 
     graphs = []
     for offset, n in enumerate(sizes):
-        graphs.append((n,) + expander_with_gap(n, DEGREE, seed=seed + offset))
+        graphs.append((n,) + expander_with_gap(n, wl.degree, seed=seed + offset))
 
     measurements = Table(["rho", "n", "lambda", "mean cov", "median", "max"])
     fits = Table(["rho", "slope b", "intercept a", "R^2"])
@@ -89,7 +109,7 @@ def run(mode: str = "quick", seed: int = 0) -> ExperimentResult:
     figure = ascii_plot(
         series,
         log_x=True,
-        title=f"E3: COBRA(1+rho) mean cover time vs n (log x), random {DEGREE}-regular",
+        title=f"E3: COBRA(1+rho) mean cover time vs n (log x), random {wl.degree}-regular",
         x_label="n",
         y_label="rounds",
     )
@@ -103,15 +123,19 @@ def run(mode: str = "quick", seed: int = 0) -> ExperimentResult:
     ]
     return ExperimentResult(
         spec=SPEC,
-        mode=mode,
+        mode=label,
         seed=seed,
-        parameters={
-            "sizes": list(sizes),
-            "rhos": list(rhos),
-            "degree": DEGREE,
-            "samples": samples,
-            "engine": "batch",
-        },
+        parameters=result_parameters(
+            label,
+            wl,
+            {
+                "sizes": list(sizes),
+                "rhos": list(rhos),
+                "degree": wl.degree,
+                "samples": samples,
+                "engine": "batch",
+            },
+        ),
         tables={"cover times": measurements, "log-n fits per rho": fits},
         figures={"cover vs n per rho": figure},
         findings=findings,

@@ -22,6 +22,8 @@ from repro.experiments.results import ExperimentResult
 from repro.experiments.spec import ExperimentSpec
 from repro.graphs.base import Graph
 from repro.graphs.generators import complete, cycle, path, petersen, random_regular
+from repro.scenarios.base import resolve_workload, result_parameters, workload_label
+from repro.scenarios.workloads import E4Workload
 
 SPEC = ExperimentSpec(
     experiment_id="E4",
@@ -37,6 +39,18 @@ QUICK_TRIALS = 2000
 FULL_TRIALS = 20000
 EXACT_T_MAX = 12
 
+#: Workload type this experiment runs from.
+WORKLOAD = E4Workload
+
+
+def preset(mode: str) -> E4Workload:
+    """The quick/full workload, built from the live module constants."""
+    if mode == "quick":
+        return E4Workload(trials=QUICK_TRIALS, exact_t_max=EXACT_T_MAX)
+    if mode == "full":
+        return E4Workload(trials=FULL_TRIALS, exact_t_max=EXACT_T_MAX)
+    raise ValueError(f"mode must be 'quick' or 'full', got {mode!r}")
+
 
 def _exact_cases(seed: int) -> list[tuple[str, Graph, list[int], int]]:
     """(label, graph, start set C, source v) tuples for the exact tier."""
@@ -50,30 +64,32 @@ def _exact_cases(seed: int) -> list[tuple[str, Graph, list[int], int]]:
     ]
 
 
-def run(mode: str = "quick", seed: int = 0) -> ExperimentResult:
+def run(
+    workload: "E4Workload | str | None" = None,
+    seed: int = 0,
+    *,
+    mode: str | None = None,
+) -> ExperimentResult:
     """Run E4 and return its tables and findings."""
-    if mode == "quick":
-        trials = QUICK_TRIALS
-    elif mode == "full":
-        trials = FULL_TRIALS
-    else:
-        raise ValueError(f"mode must be 'quick' or 'full', got {mode!r}")
+    wl = resolve_workload(E4Workload, preset, workload, mode)
+    label = workload_label(preset, wl)
+    trials, exact_t_max = wl.trials, wl.exact_t_max
 
     exact = Table(["case", "branching k", "t_max", "max |LHS - RHS|"], float_format="%.2e")
     worst_gap = 0.0
-    for label, graph, start, source in _exact_cases(seed):
+    for case_label, graph, start, source in _exact_cases(seed):
         for branching in (1.0, 1.5, 2.0, 3.0):
-            gap = duality_gap(graph, start, source, EXACT_T_MAX, branching=branching)
+            gap = duality_gap(graph, start, source, exact_t_max, branching=branching)
             worst_gap = max(worst_gap, gap)
-            exact.add_row([label, branching, EXACT_T_MAX, gap])
+            exact.add_row([case_label, branching, exact_t_max, gap])
 
-    mc_graph = random_regular(200, 6, seed=seed + 17)
-    start, source = 0, 117
+    mc_graph = random_regular(wl.mc_n, wl.mc_degree, seed=seed + 17)
+    start, source = 0, wl.mc_source
     monte_carlo = Table(
         ["t", "COBRA P(Hit>t)", "BIPS P(u not in A_t)", "|diff|", "CI overlap"]
     )
     points = duality_monte_carlo(
-        mc_graph, start, source, (1, 2, 3, 5, 8), trials=trials, seed=seed
+        mc_graph, start, source, wl.mc_checkpoints, trials=trials, seed=seed
     )
     all_overlap = True
     for point in points:
@@ -93,15 +109,19 @@ def run(mode: str = "quick", seed: int = 0) -> ExperimentResult:
         "the identity also holds exactly on an irregular graph (path n=6) — the paper "
         "proves it for regular graphs but the argument never uses regularity",
         (
-            "Monte-Carlo estimates on a 200-vertex 6-regular expander "
+            f"Monte-Carlo estimates on a {wl.mc_n}-vertex {wl.mc_degree}-regular expander "
             + ("agree within 95% Wilson intervals at every t" if all_overlap else "DISAGREE")
         ),
     ]
     return ExperimentResult(
         spec=SPEC,
-        mode=mode,
+        mode=label,
         seed=seed,
-        parameters={"exact_t_max": EXACT_T_MAX, "mc_trials": trials, "mc_graph_n": 200},
+        parameters=result_parameters(
+            label,
+            wl,
+            {"exact_t_max": exact_t_max, "mc_trials": trials, "mc_graph_n": wl.mc_n},
+        ),
         tables={"exact verification": exact, "monte-carlo verification": monte_carlo},
         findings=findings,
     )

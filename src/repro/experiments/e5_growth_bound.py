@@ -20,15 +20,10 @@ from repro.analysis.tables import Table
 from repro.experiments.results import ExperimentResult
 from repro.experiments.spec import ExperimentSpec
 from repro.graphs.base import Graph
-from repro.graphs.generators import (
-    circulant,
-    complete,
-    cycle,
-    petersen,
-    random_regular,
-    torus,
-)
 from repro.graphs.spectral import lambda_second
+from repro.scenarios.base import resolve_workload, result_parameters, workload_label
+from repro.scenarios.families import GraphCase
+from repro.scenarios.workloads import E5Workload
 from repro.theory.growth import growth_bound_ratio, minimum_growth_ratio
 
 SPEC = ExperimentSpec(
@@ -43,6 +38,47 @@ SPEC = ExperimentSpec(
 
 EXHAUSTIVE_LIMIT = 12
 
+#: Workload type this experiment runs from.
+WORKLOAD = E5Workload
+
+#: Declarative graph cases of the two presets.  Seeded generators name
+#: a ``seed_offset`` reproducing the pre-scenario ``seed + i`` pattern.
+_QUICK_CASES = (
+    GraphCase("petersen (exhaustive)", "petersen"),
+    GraphCase("cycle C9 (exhaustive)", "cycle", (9,)),
+    GraphCase("complete K8 (exhaustive)", "complete", (8,)),
+    GraphCase("random 4-regular n=64", "random_regular", (64, 4), seed_offset=0),
+    GraphCase("random 8-regular n=128", "random_regular", (128, 8), seed_offset=1),
+    GraphCase("circulant n=64 {1,2,5}", "circulant", (64, (1, 2, 5))),
+    GraphCase("torus 5x5", "torus", ((5, 5),)),
+)
+_FULL_CASES = (
+    GraphCase("petersen (exhaustive)", "petersen"),
+    GraphCase("cycle C9 (exhaustive)", "cycle", (9,)),
+    GraphCase("cycle C11 (exhaustive)", "cycle", (11,)),
+    GraphCase("complete K8 (exhaustive)", "complete", (8,)),
+    GraphCase("complete K12 (exhaustive)", "complete", (12,)),
+    GraphCase("random 4-regular n=64", "random_regular", (64, 4), seed_offset=0),
+    GraphCase("random 8-regular n=128", "random_regular", (128, 8), seed_offset=1),
+    GraphCase("random 16-regular n=256", "random_regular", (256, 16), seed_offset=2),
+    GraphCase("circulant n=64 {1,2,5}", "circulant", (64, (1, 2, 5))),
+    GraphCase("torus 5x5", "torus", ((5, 5),)),
+    GraphCase("torus 3x3x3", "torus", ((3, 3, 3),)),
+)
+
+
+def preset(mode: str) -> E5Workload:
+    """The quick/full workload, built from the live module constants."""
+    if mode == "quick":
+        return E5Workload(
+            sampled_sets=200, cases=_QUICK_CASES, exhaustive_limit=EXHAUSTIVE_LIMIT
+        )
+    if mode == "full":
+        return E5Workload(
+            sampled_sets=1000, cases=_FULL_CASES, exhaustive_limit=EXHAUSTIVE_LIMIT
+        )
+    raise ValueError(f"mode must be 'quick' or 'full', got {mode!r}")
+
 
 def _exhaustive_minimum(graph: Graph, source: int, lam: float, branching: float) -> float:
     """Minimum ratio over *all* source-containing infected sets."""
@@ -56,44 +92,27 @@ def _exhaustive_minimum(graph: Graph, source: int, lam: float, branching: float)
     return float(worst)
 
 
-def run(mode: str = "quick", seed: int = 0) -> ExperimentResult:
+def run(
+    workload: "E5Workload | str | None" = None,
+    seed: int = 0,
+    *,
+    mode: str | None = None,
+) -> ExperimentResult:
     """Run E5 and return its table and findings."""
-    if mode == "quick":
-        sampled_sets = 200
-        cases: list[tuple[str, Graph]] = [
-            ("petersen (exhaustive)", petersen()),
-            ("cycle C9 (exhaustive)", cycle(9)),
-            ("complete K8 (exhaustive)", complete(8)),
-            ("random 4-regular n=64", random_regular(64, 4, seed=seed)),
-            ("random 8-regular n=128", random_regular(128, 8, seed=seed + 1)),
-            ("circulant n=64 {1,2,5}", circulant(64, (1, 2, 5))),
-            ("torus 5x5", torus((5, 5))),
-        ]
-    elif mode == "full":
-        sampled_sets = 1000
-        cases = [
-            ("petersen (exhaustive)", petersen()),
-            ("cycle C9 (exhaustive)", cycle(9)),
-            ("cycle C11 (exhaustive)", cycle(11)),
-            ("complete K8 (exhaustive)", complete(8)),
-            ("complete K12 (exhaustive)", complete(12)),
-            ("random 4-regular n=64", random_regular(64, 4, seed=seed)),
-            ("random 8-regular n=128", random_regular(128, 8, seed=seed + 1)),
-            ("random 16-regular n=256", random_regular(256, 16, seed=seed + 2)),
-            ("circulant n=64 {1,2,5}", circulant(64, (1, 2, 5))),
-            ("torus 5x5", torus((5, 5))),
-            ("torus 3x3x3", torus((3, 3, 3))),
-        ]
-    else:
-        raise ValueError(f"mode must be 'quick' or 'full', got {mode!r}")
+    wl = resolve_workload(E5Workload, preset, workload, mode)
+    label = workload_label(preset, wl)
+    sampled_sets = wl.sampled_sets
+    cases: list[tuple[str, Graph]] = [
+        (case.label, case.build(seed)) for case in wl.cases
+    ]
 
     table = Table(["graph", "branching", "lambda", "states checked", "min exact/bound"])
     overall_worst = np.inf
-    branchings = (2.0, 1.5, 1.25)
-    for label, graph in cases:
+    branchings = wl.branchings
+    for case_label, graph in cases:
         lam = lambda_second(graph)
         source = 0
-        exhaustive = graph.n_vertices <= EXHAUSTIVE_LIMIT
+        exhaustive = graph.n_vertices <= wl.exhaustive_limit
         for branching in branchings:
             if exhaustive:
                 states = (1 << graph.n_vertices) // 2
@@ -109,7 +128,7 @@ def run(mode: str = "quick", seed: int = 0) -> ExperimentResult:
                     seed=(seed, graph.n_vertices, int(branching * 100)),
                 )
             overall_worst = min(overall_worst, worst)
-            table.add_row([label, branching, lam, states, worst])
+            table.add_row([case_label, branching, lam, states, worst])
 
     holds = overall_worst >= 1.0 - 1e-9
     findings = [
@@ -122,9 +141,13 @@ def run(mode: str = "quick", seed: int = 0) -> ExperimentResult:
     ]
     return ExperimentResult(
         spec=SPEC,
-        mode=mode,
+        mode=label,
         seed=seed,
-        parameters={"branchings": list(branchings), "sampled_sets": sampled_sets},
+        parameters=result_parameters(
+            label,
+            wl,
+            {"branchings": list(branchings), "sampled_sets": sampled_sets},
+        ),
         tables={"growth-bound ratios": table},
         findings=findings,
     )

@@ -25,6 +25,8 @@ from repro.experiments.results import ExperimentResult
 from repro.experiments.spec import ExperimentSpec
 from repro.experiments.sweep import expander_with_gap
 from repro.analysis.phases import split_phases
+from repro.scenarios.base import resolve_workload, result_parameters, workload_label
+from repro.scenarios.workloads import E6Workload
 from repro.theory.bounds import (
     lemma2_round_budget,
     lemma3_round_budget,
@@ -53,15 +55,39 @@ FULL_TRAJECTORIES = 30
 DEGREE = 8
 SIMULATION_K = 1.0  # scaled-down boundary constant (paper: 4000)
 
+#: Workload type this experiment runs from.
+WORKLOAD = E6Workload
 
-def run(mode: str = "quick", seed: int = 0) -> ExperimentResult:
-    """Run E6 and return its tables and findings."""
+
+def preset(mode: str) -> E6Workload:
+    """The quick/full workload, built from the live module constants."""
     if mode == "quick":
-        sizes, trajectories = QUICK_SIZES, QUICK_TRAJECTORIES
-    elif mode == "full":
-        sizes, trajectories = FULL_SIZES, FULL_TRAJECTORIES
-    else:
-        raise ValueError(f"mode must be 'quick' or 'full', got {mode!r}")
+        return E6Workload(
+            sizes=QUICK_SIZES,
+            trajectories=QUICK_TRAJECTORIES,
+            degree=DEGREE,
+            boundary_constant=SIMULATION_K,
+        )
+    if mode == "full":
+        return E6Workload(
+            sizes=FULL_SIZES,
+            trajectories=FULL_TRAJECTORIES,
+            degree=DEGREE,
+            boundary_constant=SIMULATION_K,
+        )
+    raise ValueError(f"mode must be 'quick' or 'full', got {mode!r}")
+
+
+def run(
+    workload: "E6Workload | str | None" = None,
+    seed: int = 0,
+    *,
+    mode: str | None = None,
+) -> ExperimentResult:
+    """Run E6 and return its tables and findings."""
+    wl = resolve_workload(E6Workload, preset, workload, mode)
+    label = workload_label(preset, wl)
+    sizes, trajectories = wl.sizes, wl.trajectories
 
     table = Table(
         [
@@ -81,8 +107,8 @@ def run(mode: str = "quick", seed: int = 0) -> ExperimentResult:
     end_means: list[float] = []
     within_budget = True
     for offset, n in enumerate(sizes):
-        graph, lam = expander_with_gap(n, DEGREE, seed=seed + offset)
-        boundary = phase_boundary_size(n, lam, constant=SIMULATION_K)
+        graph, lam = expander_with_gap(n, wl.degree, seed=seed + offset)
+        boundary = phase_boundary_size(n, lam, constant=wl.boundary_constant)
         small_rounds: list[int] = []
         mid_rounds: list[int] = []
         endgame_rounds: list[int] = []
@@ -93,7 +119,7 @@ def run(mode: str = "quick", seed: int = 0) -> ExperimentResult:
         traces = batch_bips_traces(
             graph,
             0,
-            branching=2.0,
+            branching=wl.branching,
             n_replicas=trajectories,
             seed=(seed, n, 6),
             max_rounds=cap,
@@ -151,21 +177,25 @@ def run(mode: str = "quick", seed: int = 0) -> ExperimentResult:
             f"(slope {end_fit.slope:.2f}, R^2 = {end_fit.r_squared:.3f})"
         ),
         (
-            f"the boundary uses K = {SIMULATION_K} instead of the paper's 4000 "
+            f"the boundary uses K = {wl.boundary_constant} instead of the paper's 4000 "
             "(with K = 4000 the boundary exceeds n at simulation scale)"
         ),
     ]
     return ExperimentResult(
         spec=SPEC,
-        mode=mode,
+        mode=label,
         seed=seed,
-        parameters={
-            "sizes": list(sizes),
-            "degree": DEGREE,
-            "trajectories": trajectories,
-            "boundary_constant": SIMULATION_K,
-            "engine": "batch-traces",
-        },
+        parameters=result_parameters(
+            label,
+            wl,
+            {
+                "sizes": list(sizes),
+                "degree": wl.degree,
+                "trajectories": trajectories,
+                "boundary_constant": wl.boundary_constant,
+                "engine": "batch-traces",
+            },
+        ),
         tables={"phase durations vs budgets": table},
         findings=findings,
     )

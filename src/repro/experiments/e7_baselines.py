@@ -25,6 +25,8 @@ from repro.experiments.sweep import (
     measure_random_walk_cover,
 )
 from repro.graphs.generators import complete, torus
+from repro.scenarios.base import resolve_workload, result_parameters, workload_label
+from repro.scenarios.workloads import E7Workload
 
 SPEC = ExperimentSpec(
     experiment_id="E7",
@@ -57,22 +59,44 @@ FULL = {
 }
 WALK_DEGREE = 8
 
+#: Workload type this experiment runs from.
+WORKLOAD = E7Workload
 
-def run(mode: str = "quick", seed: int = 0) -> ExperimentResult:
-    """Run E7 and return its tables and findings."""
+
+def preset(mode: str) -> E7Workload:
+    """The quick/full workload, built from the live module constants."""
     if mode == "quick":
         config = QUICK
     elif mode == "full":
         config = FULL
     else:
         raise ValueError(f"mode must be 'quick' or 'full', got {mode!r}")
-    samples = config["samples"]
+    return E7Workload(
+        complete_sizes=config["complete_sizes"],
+        torus2d_sides=config["torus2d_sides"],
+        torus3d_sides=config["torus3d_sides"],
+        walk_sizes=config["walk_sizes"],
+        samples=config["samples"],
+        walk_degree=WALK_DEGREE,
+    )
+
+
+def run(
+    workload: "E7Workload | str | None" = None,
+    seed: int = 0,
+    *,
+    mode: str | None = None,
+) -> ExperimentResult:
+    """Run E7 and return its tables and findings."""
+    wl = resolve_workload(E7Workload, preset, workload, mode)
+    label = workload_label(preset, wl)
+    samples = wl.samples
 
     # --- complete graphs -------------------------------------------------
     complete_table = Table(["n", "mean cov", "cov / log2 n"])
     complete_ns: list[float] = []
     complete_means: list[float] = []
-    for n in config["complete_sizes"]:
+    for n in wl.complete_sizes:
         result = measure_cobra_cover(complete(n), n_samples=samples, seed=(seed, n, 71))
         complete_table.add_row([n, result.stats.mean, result.stats.mean / math.log2(n)])
         complete_ns.append(float(n))
@@ -83,7 +107,7 @@ def run(mode: str = "quick", seed: int = 0) -> ExperimentResult:
     torus_table = Table(["dim", "side", "n", "mean cov", "n^(1/d)"])
     torus_fits = Table(["dim", "power-law exponent", "R^2", "theory 1/d"])
     exponents: dict[int, float] = {}
-    for dim, sides in ((2, config["torus2d_sides"]), (3, config["torus3d_sides"])):
+    for dim, sides in ((2, wl.torus2d_sides), (3, wl.torus3d_sides)):
         ns: list[float] = []
         means: list[float] = []
         for side in sides:
@@ -103,8 +127,8 @@ def run(mode: str = "quick", seed: int = 0) -> ExperimentResult:
     )
     walk_ns: list[float] = []
     walk_means: list[float] = []
-    for offset, n in enumerate(config["walk_sizes"]):
-        graph, _ = expander_with_gap(n, WALK_DEGREE, seed=seed + 100 + offset)
+    for offset, n in enumerate(wl.walk_sizes):
+        graph, _ = expander_with_gap(n, wl.walk_degree, seed=seed + 100 + offset)
         walk = measure_random_walk_cover(graph, n_samples=samples, seed=(seed, n, 73))
         cobra = measure_cobra_cover(graph, n_samples=samples, seed=(seed, n, 74))
         walk_table.add_row(
@@ -135,12 +159,23 @@ def run(mode: str = "quick", seed: int = 0) -> ExperimentResult:
             f"branching is what buys the exponential speedup"
         ),
     ]
+    config = {
+        "complete_sizes": wl.complete_sizes,
+        "torus2d_sides": wl.torus2d_sides,
+        "torus3d_sides": wl.torus3d_sides,
+        "walk_sizes": wl.walk_sizes,
+        "samples": samples,
+    }
     return ExperimentResult(
         spec=SPEC,
-        mode=mode,
+        mode=label,
         seed=seed,
-        parameters={key: list(value) if isinstance(value, tuple) else value
-                    for key, value in config.items()},
+        parameters=result_parameters(
+            label,
+            wl,
+            {key: list(value) if isinstance(value, tuple) else value
+             for key, value in config.items()},
+        ),
         tables={
             "complete graphs": complete_table,
             "tori": torus_table,

@@ -27,6 +27,8 @@ from repro.experiments.spec import ExperimentSpec
 from repro.experiments.sweep import expander_with_gap, measure_cobra_cover
 from repro.graphs.generators import circulant
 from repro.graphs.spectral import analytic_lambda
+from repro.scenarios.base import resolve_workload, result_parameters, workload_label
+from repro.scenarios.workloads import E8Workload
 from repro.theory.bounds import cover_time_bound
 
 SPEC = ExperimentSpec(
@@ -51,15 +53,42 @@ FULL_DEGREES = (3, 4, 6, 8, 12, 16, 24, 32, 64)
 QUICK_SAMPLES = 10
 FULL_SAMPLES = 25
 
+#: Workload type this experiment runs from.
+WORKLOAD = E8Workload
 
-def run(mode: str = "quick", seed: int = 0) -> ExperimentResult:
-    """Run E8 and return its tables, figure, and findings."""
+
+def preset(mode: str) -> E8Workload:
+    """The quick/full workload, built from the live module constants."""
     if mode == "quick":
-        chords, degrees, samples = QUICK_CHORDS, QUICK_DEGREES, QUICK_SAMPLES
-    elif mode == "full":
-        chords, degrees, samples = FULL_CHORDS, FULL_DEGREES, FULL_SAMPLES
-    else:
-        raise ValueError(f"mode must be 'quick' or 'full', got {mode!r}")
+        return E8Workload(
+            circulant_n=CIRCULANT_N,
+            chords=QUICK_CHORDS,
+            regular_n=REGULAR_N,
+            degrees=QUICK_DEGREES,
+            samples=QUICK_SAMPLES,
+        )
+    if mode == "full":
+        return E8Workload(
+            circulant_n=CIRCULANT_N,
+            chords=FULL_CHORDS,
+            regular_n=REGULAR_N,
+            degrees=FULL_DEGREES,
+            samples=FULL_SAMPLES,
+        )
+    raise ValueError(f"mode must be 'quick' or 'full', got {mode!r}")
+
+
+def run(
+    workload: "E8Workload | str | None" = None,
+    seed: int = 0,
+    *,
+    mode: str | None = None,
+) -> ExperimentResult:
+    """Run E8 and return its tables, figure, and findings."""
+    wl = resolve_workload(E8Workload, preset, workload, mode)
+    label = workload_label(preset, wl)
+    chords, degrees, samples = wl.chords, wl.degrees, wl.samples
+    circulant_n, regular_n = wl.circulant_n, wl.regular_n
 
     table = Table(
         ["family", "param", "lambda", "1/(1-lambda)", "mean cov", "bound T"]
@@ -67,18 +96,18 @@ def run(mode: str = "quick", seed: int = 0) -> ExperimentResult:
     circulant_points: tuple[list[float], list[float]] = ([], [])
     for j in chords:
         offsets = tuple(range(1, j + 1))
-        graph = circulant(CIRCULANT_N, offsets)
-        lam = analytic_lambda("circulant", n=CIRCULANT_N, offsets=offsets)
+        graph = circulant(circulant_n, offsets)
+        lam = analytic_lambda("circulant", n=circulant_n, offsets=offsets)
         result = measure_cobra_cover(graph, n_samples=samples, seed=(seed, j, 81))
         inverse_gap = 1.0 / (1.0 - lam)
         table.add_row(
             [
-                "circulant(513, 1..j)",
+                f"circulant({circulant_n}, 1..j)",
                 f"j={j}",
                 lam,
                 inverse_gap,
                 result.stats.mean,
-                cover_time_bound(CIRCULANT_N, lam),
+                cover_time_bound(circulant_n, lam),
             ]
         )
         circulant_points[0].append(inverse_gap)
@@ -86,17 +115,17 @@ def run(mode: str = "quick", seed: int = 0) -> ExperimentResult:
 
     regular_points: tuple[list[float], list[float]] = ([], [])
     for offset, r in enumerate(degrees):
-        graph, lam = expander_with_gap(REGULAR_N, r, seed=seed + 200 + offset)
+        graph, lam = expander_with_gap(regular_n, r, seed=seed + 200 + offset)
         result = measure_cobra_cover(graph, n_samples=samples, seed=(seed, r, 82))
         inverse_gap = 1.0 / (1.0 - lam)
         table.add_row(
             [
-                "random regular n=512",
+                f"random regular n={regular_n}",
                 f"r={r}",
                 lam,
                 inverse_gap,
                 result.stats.mean,
-                cover_time_bound(REGULAR_N, lam),
+                cover_time_bound(regular_n, lam),
             ]
         )
         regular_points[0].append(inverse_gap)
@@ -110,8 +139,8 @@ def run(mode: str = "quick", seed: int = 0) -> ExperimentResult:
 
     figure = ascii_plot(
         {
-            "circulant(513)": circulant_points,
-            "random reg n=512": regular_points,
+            f"circulant({circulant_n})": circulant_points,
+            f"random reg n={regular_n}": regular_points,
         },
         log_x=True,
         log_y=True,
@@ -133,16 +162,20 @@ def run(mode: str = "quick", seed: int = 0) -> ExperimentResult:
     ]
     return ExperimentResult(
         spec=SPEC,
-        mode=mode,
+        mode=label,
         seed=seed,
-        parameters={
-            "circulant_n": CIRCULANT_N,
-            "chords": list(chords),
-            "regular_n": REGULAR_N,
-            "degrees": list(degrees),
-            "samples": samples,
-            "engine": "batch",
-        },
+        parameters=result_parameters(
+            label,
+            wl,
+            {
+                "circulant_n": circulant_n,
+                "chords": list(chords),
+                "regular_n": regular_n,
+                "degrees": list(degrees),
+                "samples": samples,
+                "engine": "batch",
+            },
+        ),
         tables={"cover vs gap": table, "power-law fits": fits},
         figures={"cover vs inverse gap": figure},
         findings=findings,

@@ -30,6 +30,8 @@ from repro.core.runner import default_max_rounds, run_process
 from repro.experiments.results import ExperimentResult
 from repro.experiments.spec import ExperimentSpec
 from repro.experiments.sweep import expander_with_gap
+from repro.scenarios.base import resolve_workload, result_parameters, workload_label
+from repro.scenarios.workloads import E9Workload
 
 SPEC = ExperimentSpec(
     experiment_id="E9",
@@ -51,6 +53,22 @@ QUICK_BRANCHINGS = (1.0, 1.25, 1.5, 2.0, 3.0, 4.0, 8.0)
 FULL_BRANCHINGS = (1.0, 1.1, 1.25, 1.5, 2.0, 3.0, 4.0, 6.0, 8.0)
 QUICK_SAMPLES = 8
 FULL_SAMPLES = 20
+
+#: Workload type this experiment runs from.
+WORKLOAD = E9Workload
+
+
+def preset(mode: str) -> E9Workload:
+    """The quick/full workload, built from the live module constants."""
+    if mode == "quick":
+        return E9Workload(
+            n=GRAPH_N, r=GRAPH_R, branchings=QUICK_BRANCHINGS, samples=QUICK_SAMPLES
+        )
+    if mode == "full":
+        return E9Workload(
+            n=GRAPH_N, r=GRAPH_R, branchings=FULL_BRANCHINGS, samples=FULL_SAMPLES
+        )
+    raise ValueError(f"mode must be 'quick' or 'full', got {mode!r}")
 
 
 def _measure_with_traces(
@@ -102,16 +120,19 @@ def _measure_cobra_traces(
     )
 
 
-def run(mode: str = "quick", seed: int = 0) -> ExperimentResult:
+def run(
+    workload: "E9Workload | str | None" = None,
+    seed: int = 0,
+    *,
+    mode: str | None = None,
+) -> ExperimentResult:
     """Run E9 and return its table and findings."""
-    if mode == "quick":
-        branchings, samples = QUICK_BRANCHINGS, QUICK_SAMPLES
-    elif mode == "full":
-        branchings, samples = FULL_BRANCHINGS, FULL_SAMPLES
-    else:
-        raise ValueError(f"mode must be 'quick' or 'full', got {mode!r}")
+    wl = resolve_workload(E9Workload, preset, workload, mode)
+    label = workload_label(preset, wl)
+    branchings, samples = wl.branchings, wl.samples
+    graph_n = wl.n
 
-    graph, lam = expander_with_gap(GRAPH_N, GRAPH_R, seed=seed)
+    graph, lam = expander_with_gap(graph_n, wl.r, seed=seed)
     cap = default_max_rounds(graph)
     table = Table(
         [
@@ -143,19 +164,21 @@ def run(mode: str = "quick", seed: int = 0) -> ExperimentResult:
                 f"COBRA k={branching}",
                 time_stats.mean,
                 total_stats.mean,
-                total_stats.mean / GRAPH_N,
+                total_stats.mean / graph_n,
                 peak_stats.mean,
-                peak_stats.mean / GRAPH_N,
+                peak_stats.mean / graph_n,
             ]
         )
         cobra_rows[branching] = (time_stats.mean, total_stats.mean)
 
-    for label, build in (
+    for protocol, build in (
         ("push", lambda rng: PushProcess(graph, 0, seed=rng)),
         ("pull", lambda rng: PullProcess(graph, 0, seed=rng)),
         ("push-pull", lambda rng: PushPullProcess(graph, 0, seed=rng)),
     ):
-        times, totals, peaks = _measure_with_traces(build, samples, (seed, hashd(label), 92), cap)
+        times, totals, peaks = _measure_with_traces(
+            build, samples, (seed, hashd(protocol), 92), cap
+        )
         time_stats, total_stats, peak_stats = (
             summarize(times),
             summarize(totals),
@@ -163,20 +186,26 @@ def run(mode: str = "quick", seed: int = 0) -> ExperimentResult:
         )
         table.add_row(
             [
-                label,
+                protocol,
                 time_stats.mean,
                 total_stats.mean,
-                total_stats.mean / GRAPH_N,
+                total_stats.mean / graph_n,
                 peak_stats.mean,
-                peak_stats.mean / GRAPH_N,
+                peak_stats.mean / graph_n,
             ]
         )
 
-    k1_rounds = cobra_rows[1.0][0]
-    k2_rounds = cobra_rows[2.0][0]
+    # The headline comparison uses k=1 vs k=2 when the sweep includes
+    # them (the presets do); bespoke branching grids fall back to their
+    # slowest and fastest sweep points.
+    low_k = 1.0 if 1.0 in cobra_rows else min(cobra_rows)
+    high_k = 2.0 if 2.0 in cobra_rows else max(cobra_rows)
+    k1_rounds = cobra_rows[low_k][0]
+    k2_rounds = cobra_rows[high_k][0]
     findings = [
         (
-            f"k=1 needs {k1_rounds:.0f} rounds vs {k2_rounds:.0f} for k=2 on the same graph "
+            f"k={low_k:g} needs {k1_rounds:.0f} rounds vs {k2_rounds:.0f} for k={high_k:g} "
+            f"on the same graph "
             f"(x{k1_rounds / k2_rounds:.0f} speedup from a single extra push)"
         ),
         "beyond k=2 the round count improves only marginally while message cost grows ~ k",
@@ -187,16 +216,20 @@ def run(mode: str = "quick", seed: int = 0) -> ExperimentResult:
     ]
     return ExperimentResult(
         spec=SPEC,
-        mode=mode,
+        mode=label,
         seed=seed,
-        parameters={
-            "n": GRAPH_N,
-            "r": GRAPH_R,
-            "lambda": lam,
-            "branchings": list(branchings),
-            "samples": samples,
-            "engine": "batch-traces",
-        },
+        parameters=result_parameters(
+            label,
+            wl,
+            {
+                "n": graph_n,
+                "r": wl.r,
+                "lambda": lam,
+                "branchings": list(branchings),
+                "samples": samples,
+                "engine": "batch-traces",
+            },
+        ),
         tables={"protocol comparison": table},
         findings=findings,
     )

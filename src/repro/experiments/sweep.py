@@ -215,3 +215,22 @@ def expander_with_gap(
     sequence = derive_seed_sequence(seed)
     graph = random_regular(n, r, seed=np.random.default_rng(sequence))
     return graph, lambda_second(graph, method=lambda_method)
+
+
+def family_with_gap(
+    family, n: int, seed: SeedLike = None, *, lambda_method: str = "auto"
+) -> tuple[Graph, float]:
+    """A size-``n`` member of a declarative graph family plus its ``λ``.
+
+    ``family`` is a :class:`~repro.scenarios.families.GraphFamily` (or
+    anything its ``from_value`` accepts).  For the ``random_regular``
+    kind this is bit-identical to :func:`expander_with_gap` at the same
+    ``(n, degree, seed)`` — the scenario layer's preset path and the
+    legacy helper build the same graphs.  Bipartite family members
+    (hypercubes, even-sided tori) report ``λ = 1``; callers guarding a
+    ``1/(1-λ)`` bound should check for that.
+    """
+    from repro.scenarios.families import GraphFamily  # deferred: import cycle
+
+    graph = GraphFamily.from_value(family).build(n, seed=seed)
+    return graph, lambda_second(graph, method=lambda_method)

@@ -199,6 +199,61 @@ def random_regular(n: int, r: int, seed: SeedLike = None, *, max_tries: int = 10
     )
 
 
+def watts_strogatz(
+    n: int, k: int, rewire: float, seed: SeedLike = None, *, max_tries: int = 100
+) -> Graph:
+    """Connected Watts–Strogatz small-world graph.
+
+    A ring lattice where each vertex connects to its `k` nearest
+    neighbours, with every edge rewired independently with probability
+    ``rewire``.  Retries until the sample is connected, so processes
+    can always complete on it.  Requires even ``k`` with
+    ``2 <= k < n`` and ``0 <= rewire <= 1``; irregular once any edge
+    is rewired.
+    """
+    if k < 2 or k % 2 != 0 or k >= n:
+        raise GraphConstructionError(
+            f"watts_strogatz needs an even 2 <= k < n, got k={k}, n={n}"
+        )
+    if not 0.0 <= rewire <= 1.0:
+        raise GraphConstructionError(f"rewire must be in [0, 1], got {rewire}")
+    import networkx as nx
+
+    rng = ensure_generator(seed)
+    nx_seed = int(rng.integers(0, 2**31 - 1))
+    candidate = nx.connected_watts_strogatz_graph(
+        n, k, rewire, tries=max_tries, seed=nx_seed
+    )
+    return from_edges(
+        n,
+        list(candidate.edges()),
+        name=f"watts_strogatz(n={n}, k={k}, rewire={rewire})",
+    )
+
+
+def barabasi_albert(n: int, attach: int, seed: SeedLike = None) -> Graph:
+    """Barabási–Albert preferential-attachment (power-law) graph.
+
+    Each new vertex attaches to ``attach`` existing vertices with
+    probability proportional to their degree, yielding the heavy-tailed
+    degree distribution of scale-free networks.  Always connected;
+    strongly irregular (hub degrees grow like ``sqrt(n)``).  Requires
+    ``1 <= attach < n``.
+    """
+    if attach < 1 or attach >= n:
+        raise GraphConstructionError(
+            f"barabasi_albert needs 1 <= attach < n, got attach={attach}, n={n}"
+        )
+    import networkx as nx
+
+    rng = ensure_generator(seed)
+    nx_seed = int(rng.integers(0, 2**31 - 1))
+    candidate = nx.barabasi_albert_graph(n, attach, seed=nx_seed)
+    return from_edges(
+        n, list(candidate.edges()), name=f"barabasi_albert(n={n}, attach={attach})"
+    )
+
+
 def ring_of_cliques(n_cliques: int, clique_size: int) -> Graph:
     """`n_cliques` copies of `K_s` joined in a cycle by bridge edges.
 

@@ -40,6 +40,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import pickle
+from contextlib import contextmanager
 from multiprocessing import shared_memory
 from typing import Any, Callable, Iterator, Sequence
 
@@ -391,6 +392,60 @@ class SharedGraph:
             f"SharedGraph({self._name!r}, segments="
             f"[{self._indptr_segment}, {self._indices_segment}], {role})"
         )
+
+
+#: Active publication cache of :func:`shared_graph_scope`, or ``None``.
+#: Maps ``id(graph)`` to ``(graph, handle)`` — the strong graph
+#: reference pins the id so it cannot be recycled by a new object.
+_graph_publications: "dict[int, tuple[Graph, SharedGraph]] | None" = None
+
+
+@contextmanager
+def shared_graph_scope() -> "Iterator[None]":
+    """Publish each distinct graph at most once for the scope's duration.
+
+    Inside the scope, :func:`acquire_shared_graph` hands out one
+    long-lived :class:`SharedGraph` per graph object instead of a fresh
+    publication per ensemble call, so an experiment that measures the
+    same graph several times (E2's BIPS+COBRA pairs, E9's protocol
+    sweep) — or a campaign entry doing so on a spawn platform — pays
+    one copy per graph total.  Every cached publication is unlinked
+    when the outermost scope exits; nested scopes reuse the outer
+    cache.  Without an active scope :func:`acquire_shared_graph`
+    degrades to the old publish-per-call behaviour.
+    """
+    global _graph_publications
+    if _graph_publications is not None:  # nested: reuse the outer cache
+        yield
+        return
+    _graph_publications = {}
+    try:
+        yield
+    finally:
+        cache, _graph_publications = _graph_publications, None
+        for _, handle in cache.values():
+            handle.unlink()
+
+
+def acquire_shared_graph(graph: Graph) -> "tuple[SharedGraph, bool]":
+    """A shared-memory handle for ``graph``, cached inside an active scope.
+
+    Returns ``(handle, caller_owns)``: when ``caller_owns`` is True the
+    caller must ``unlink()`` the handle after its pooled work (no scope
+    was active); when False the handle belongs to the enclosing
+    :func:`shared_graph_scope` and must be left alone.
+    """
+    if _graph_publications is None:
+        return SharedGraph(graph), True
+    entry = _graph_publications.get(id(graph))
+    if entry is not None:
+        # The cached strong reference pins id(graph), so a cache hit is
+        # always the same object.
+        assert entry[0] is graph
+        return entry[1], False
+    handle = SharedGraph(graph)
+    _graph_publications[id(graph)] = (graph, handle)
+    return handle, False
 
 
 def resolve_shared_graph(graph_or_handle: "Graph | SharedGraph") -> Graph:

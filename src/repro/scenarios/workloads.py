@@ -1,0 +1,359 @@
+"""The thirteen experiment workload dataclasses, E1 through E13.
+
+Each class mirrors one experiment module's parameter surface: every
+``UPPER_CASE`` constant the old ``run(mode=...)`` read is now a
+validated field.  The ``quick``/``full`` presets are built *by the
+experiment modules themselves* (``preset(mode)`` there reads the live
+module constants, so micro-scale monkeypatching keeps working); these
+classes only define the shape, coercion rules, and cross-field
+validation.
+
+Field values accept scenario-friendly spellings — ``"256,512"`` from
+the CLI's ``--set``, plain JSON lists from scenario files, family
+descriptions as kind strings or dicts — and normalise to tuples and
+structured objects, so equal workloads compare equal however they were
+written.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import ClassVar
+
+from repro.errors import ScenarioError
+from repro.scenarios.base import (
+    FieldSpec,
+    Workload,
+    float_field,
+    float_tuple_field,
+    int_field,
+    int_tuple_field,
+    object_field,
+    object_tuple_field,
+)
+from repro.scenarios.families import GraphCase, GraphFamily
+
+
+@dataclass(frozen=True)
+class E1Workload(Workload):
+    """E1 — COBRA cover on random regular expanders: `n` × `r` grid."""
+
+    sizes: tuple[int, ...]
+    degrees: tuple[int, ...]
+    samples: int
+    branching: float = 2.0
+
+    FIELDS: ClassVar[dict[str, FieldSpec]] = {
+        "sizes": int_tuple_field(minimum=8, doc="graph sizes n of the ladder"),
+        "degrees": int_tuple_field(minimum=3, doc="regular degrees r to sweep"),
+        "samples": int_field(minimum=1, doc="cover-time replicas per (n, r) cell"),
+        "branching": float_field(minimum=1.0, doc="COBRA branching factor k"),
+    }
+
+    def validate(self) -> None:
+        smallest = min(self.sizes)
+        for degree in self.degrees:
+            if degree >= smallest:
+                raise ScenarioError(
+                    f"E1 degree {degree} must be below the smallest size {smallest}"
+                )
+
+
+@dataclass(frozen=True)
+class E2Workload(Workload):
+    """E2 — BIPS infection vs COBRA cover on one graph-family ladder."""
+
+    sizes: tuple[int, ...]
+    samples: int
+    family: GraphFamily
+
+    FIELDS: ClassVar[dict[str, FieldSpec]] = {
+        "sizes": int_tuple_field(minimum=8, doc="graph sizes n of the ladder"),
+        "samples": int_field(minimum=1, doc="replicas per size"),
+        "family": object_field(
+            GraphFamily.from_value, doc="graph family the ladder is built from"
+        ),
+    }
+
+    def validate(self) -> None:
+        for n in self.sizes:
+            self.family.validate_size(n)
+
+
+@dataclass(frozen=True)
+class E3Workload(Workload):
+    """E3 — fractional branching ``1 + rho`` on a fixed-degree ladder."""
+
+    sizes: tuple[int, ...]
+    rhos: tuple[float, ...]
+    samples: int
+    degree: int
+
+    FIELDS: ClassVar[dict[str, FieldSpec]] = {
+        "sizes": int_tuple_field(minimum=8, doc="graph sizes n of the ladder"),
+        "rhos": float_tuple_field(minimum=1e-6, doc="branching surpluses rho > 0"),
+        "samples": int_field(minimum=1, doc="replicas per (rho, n) cell"),
+        "degree": int_field(minimum=3, doc="regular degree of the expanders"),
+    }
+
+
+@dataclass(frozen=True)
+class E4Workload(Workload):
+    """E4 — the exact + Monte-Carlo duality check."""
+
+    trials: int
+    exact_t_max: int
+    mc_n: int = 200
+    mc_degree: int = 6
+    mc_source: int = 117
+    mc_checkpoints: tuple[int, ...] = (1, 2, 3, 5, 8)
+
+    FIELDS: ClassVar[dict[str, FieldSpec]] = {
+        "trials": int_field(minimum=10, doc="Monte-Carlo trials per estimate"),
+        "exact_t_max": int_field(minimum=1, doc="horizon of the exact tier"),
+        "mc_n": int_field(minimum=16, doc="Monte-Carlo expander size"),
+        "mc_degree": int_field(minimum=3, doc="Monte-Carlo expander degree"),
+        "mc_source": int_field(minimum=1, doc="BIPS source vertex of the MC check"),
+        "mc_checkpoints": int_tuple_field(minimum=1, doc="rounds t compared"),
+    }
+
+    def validate(self) -> None:
+        if self.mc_source >= self.mc_n:
+            raise ScenarioError(
+                f"E4 mc_source {self.mc_source} must be below mc_n {self.mc_n}"
+            )
+        if self.mc_degree >= self.mc_n:
+            raise ScenarioError(
+                f"E4 mc_degree {self.mc_degree} must be below mc_n {self.mc_n}"
+            )
+
+
+@dataclass(frozen=True)
+class E5Workload(Workload):
+    """E5 — the one-step growth bound over a list of graph cases."""
+
+    sampled_sets: int
+    cases: tuple[GraphCase, ...]
+    branchings: tuple[float, ...] = (2.0, 1.5, 1.25)
+    exhaustive_limit: int = 12
+
+    FIELDS: ClassVar[dict[str, FieldSpec]] = {
+        "sampled_sets": int_field(minimum=10, doc="random infected sets per case"),
+        "cases": object_tuple_field(GraphCase.from_value, doc="graphs to check"),
+        "branchings": float_tuple_field(minimum=1.0, doc="branching factors 1 + rho"),
+        "exhaustive_limit": int_field(
+            minimum=2, doc="max vertices for exhaustive subset enumeration"
+        ),
+    }
+
+    def validate(self) -> None:
+        if self.exhaustive_limit > 22:
+            raise ScenarioError(
+                f"E5 exhaustive_limit {self.exhaustive_limit} would enumerate "
+                f"2**{self.exhaustive_limit} subsets; keep it <= 22"
+            )
+
+
+@dataclass(frozen=True)
+class E6Workload(Workload):
+    """E6 — three-phase BIPS growth trajectories."""
+
+    sizes: tuple[int, ...]
+    trajectories: int
+    degree: int
+    boundary_constant: float = 1.0
+    branching: float = 2.0
+
+    FIELDS: ClassVar[dict[str, FieldSpec]] = {
+        "sizes": int_tuple_field(minimum=32, doc="graph sizes n of the ladder"),
+        "trajectories": int_field(minimum=1, doc="recorded trajectories per size"),
+        "degree": int_field(minimum=3, doc="regular degree of the expanders"),
+        "boundary_constant": float_field(
+            minimum=1e-9, doc="K in the phase boundary m = K log n/(1-lambda)^2"
+        ),
+        "branching": float_field(minimum=1.0, doc="BIPS branching factor k"),
+    }
+
+
+@dataclass(frozen=True)
+class E7Workload(Workload):
+    """E7 — complete graphs, tori, and the k=1 random-walk baseline."""
+
+    complete_sizes: tuple[int, ...]
+    torus2d_sides: tuple[int, ...]
+    torus3d_sides: tuple[int, ...]
+    walk_sizes: tuple[int, ...]
+    samples: int
+    walk_degree: int = 8
+
+    FIELDS: ClassVar[dict[str, FieldSpec]] = {
+        "complete_sizes": int_tuple_field(minimum=4, doc="complete-graph sizes"),
+        "torus2d_sides": int_tuple_field(minimum=3, doc="2-D torus side lengths"),
+        "torus3d_sides": int_tuple_field(minimum=3, doc="3-D torus side lengths"),
+        "walk_sizes": int_tuple_field(minimum=8, doc="k=1 walk expander sizes"),
+        "samples": int_field(minimum=1, doc="replicas per cell"),
+        "walk_degree": int_field(minimum=3, doc="degree of the walk expanders"),
+    }
+
+
+@dataclass(frozen=True)
+class E8Workload(Workload):
+    """E8 — cover time vs spectral gap on circulants and regulars."""
+
+    circulant_n: int
+    chords: tuple[int, ...]
+    regular_n: int
+    degrees: tuple[int, ...]
+    samples: int
+
+    FIELDS: ClassVar[dict[str, FieldSpec]] = {
+        "circulant_n": int_field(minimum=16, doc="circulant family size"),
+        "chords": int_tuple_field(minimum=1, doc="chord counts j of C_n(1..j)"),
+        "regular_n": int_field(minimum=16, doc="random-regular family size"),
+        "degrees": int_tuple_field(minimum=3, doc="random-regular degrees"),
+        "samples": int_field(minimum=1, doc="replicas per graph"),
+    }
+
+    def validate(self) -> None:
+        if self.circulant_n % 2 == 0:
+            raise ScenarioError(
+                f"E8 circulant_n must be odd (non-bipartite for every chord "
+                f"set), got {self.circulant_n}"
+            )
+        for j in self.chords:
+            if 2 * j >= self.circulant_n:
+                raise ScenarioError(
+                    f"E8 chord count {j} needs circulant_n > 2j, "
+                    f"got {self.circulant_n}"
+                )
+        for degree in self.degrees:
+            if degree >= self.regular_n:
+                raise ScenarioError(
+                    f"E8 degree {degree} must be below regular_n {self.regular_n}"
+                )
+
+
+@dataclass(frozen=True)
+class E9Workload(Workload):
+    """E9 — branching factor vs transmission budget on one expander."""
+
+    n: int
+    r: int
+    branchings: tuple[float, ...]
+    samples: int
+
+    FIELDS: ClassVar[dict[str, FieldSpec]] = {
+        "n": int_field(minimum=32, doc="expander size"),
+        "r": int_field(minimum=3, doc="expander degree"),
+        "branchings": float_tuple_field(minimum=1.0, doc="COBRA branching factors"),
+        "samples": int_field(minimum=1, doc="replicas per protocol"),
+    }
+
+
+@dataclass(frozen=True)
+class E10Workload(Workload):
+    """E10 — persistent-source ablation (BIPS vs plain SIS)."""
+
+    n: int
+    r: int
+    sis_trials: int
+    bips_trials: int
+    round_cap: int = 2000
+
+    FIELDS: ClassVar[dict[str, FieldSpec]] = {
+        "n": int_field(minimum=32, doc="expander size"),
+        "r": int_field(minimum=3, doc="expander degree"),
+        "sis_trials": int_field(minimum=10, doc="plain-SIS trials per branching"),
+        "bips_trials": int_field(minimum=5, doc="BIPS trials"),
+        "round_cap": int_field(minimum=10, doc="round cap per trial"),
+    }
+
+
+@dataclass(frozen=True)
+class E11Workload(Workload):
+    """E11 — geometric tails and concentration of completion times."""
+
+    tail_n: int
+    tail_r: int
+    tail_samples: int
+    ladder: tuple[int, ...]
+    ladder_samples: int
+
+    FIELDS: ClassVar[dict[str, FieldSpec]] = {
+        "tail_n": int_field(minimum=64, doc="fixed expander size for the tails"),
+        "tail_r": int_field(minimum=3, doc="expander degree"),
+        "tail_samples": int_field(minimum=100, doc="completion times sampled"),
+        "ladder": int_tuple_field(minimum=32, doc="sizes of the concentration ladder"),
+        "ladder_samples": int_field(minimum=20, doc="replicas per ladder size"),
+    }
+
+
+@dataclass(frozen=True)
+class E12Workload(Workload):
+    """E12 — COBRA/BIPS on evolving expanders."""
+
+    sizes: tuple[int, ...]
+    samples: int
+    degree: int
+    periods: tuple[int, ...] = (1, 4, 10_000_000)
+
+    FIELDS: ClassVar[dict[str, FieldSpec]] = {
+        "sizes": int_tuple_field(minimum=16, doc="graph sizes n of the ladder"),
+        "samples": int_field(minimum=1, doc="replicas per (period, n) cell"),
+        "degree": int_field(minimum=3, doc="regular degree of the expanders"),
+        "periods": int_tuple_field(
+            minimum=1, doc="re-sampling periods (>= 10_000_000 = static)"
+        ),
+    }
+
+
+@dataclass(frozen=True)
+class E13Workload(Workload):
+    """E13 — COBRA/BIPS under independent message loss."""
+
+    n: int
+    r: int
+    loss_rates: tuple[float, ...]
+    critical_sweep: tuple[float, ...]
+    samples: int
+    round_cap: int = 3000
+    exact_t_max: int = 10
+
+    FIELDS: ClassVar[dict[str, FieldSpec]] = {
+        "n": int_field(minimum=64, doc="expander size"),
+        "r": int_field(minimum=3, doc="expander degree"),
+        "loss_rates": float_tuple_field(
+            minimum=0.0, maximum=0.49, doc="supercritical loss rates p ((1-p)k > 1)"
+        ),
+        "critical_sweep": float_tuple_field(
+            minimum=0.0, maximum=0.95, doc="loss rates swept across (1-p)k = 1"
+        ),
+        "samples": int_field(minimum=10, doc="replicas per loss rate"),
+        "round_cap": int_field(minimum=100, doc="round cap per replica"),
+        "exact_t_max": int_field(minimum=1, doc="horizon of the exact lossy duality"),
+    }
+
+    def validate(self) -> None:
+        if 0.0 not in self.loss_rates:
+            raise ScenarioError(
+                "E13 loss_rates must include 0.0 (the lossless reference "
+                "the slowdown is measured against)"
+            )
+
+
+#: Workload class per experiment id (presentation order).
+WORKLOAD_TYPES: dict[str, type[Workload]] = {
+    "E1": E1Workload,
+    "E2": E2Workload,
+    "E3": E3Workload,
+    "E4": E4Workload,
+    "E5": E5Workload,
+    "E6": E6Workload,
+    "E7": E7Workload,
+    "E8": E8Workload,
+    "E9": E9Workload,
+    "E10": E10Workload,
+    "E11": E11Workload,
+    "E12": E12Workload,
+    "E13": E13Workload,
+}

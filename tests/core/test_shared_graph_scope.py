@@ -1,0 +1,76 @@
+"""Tests for scope-cached SharedGraph publications (one copy per graph)."""
+
+from __future__ import annotations
+
+from repro.graphs.generators import cycle, petersen
+from repro.parallel import acquire_shared_graph, shared_graph_scope
+
+
+class TestSharedGraphScope:
+    def test_without_scope_caller_owns_a_fresh_handle(self):
+        graph = petersen()
+        handle, caller_owns = acquire_shared_graph(graph)
+        try:
+            assert caller_owns
+            other, _ = acquire_shared_graph(graph)
+            assert other is not handle
+            other.unlink()
+        finally:
+            handle.unlink()
+
+    def test_scope_reuses_one_publication_per_graph(self):
+        graph, other_graph = petersen(), cycle(5)
+        with shared_graph_scope():
+            first, owns_first = acquire_shared_graph(graph)
+            second, owns_second = acquire_shared_graph(graph)
+            third, _ = acquire_shared_graph(other_graph)
+            assert not owns_first and not owns_second
+            assert second is first  # one copy per distinct graph
+            assert third is not first
+            assert first.graph() is graph
+
+    def test_scope_unlinks_on_exit(self):
+        graph = petersen()
+        with shared_graph_scope():
+            handle, _ = acquire_shared_graph(graph)
+            state = handle.__getstate__()
+        # After the scope the segments are gone: a worker-side attach
+        # (rebuilt from pickled state) must fail.
+        import pickle
+
+        rebuilt = pickle.loads(pickle.dumps(handle))
+        try:
+            rebuilt.graph()
+        except FileNotFoundError:
+            pass
+        else:  # pragma: no cover - would mean leaked shared memory
+            raise AssertionError(f"segments {state} survived the scope")
+
+    def test_nested_scopes_share_the_outer_cache(self):
+        graph = petersen()
+        with shared_graph_scope():
+            outer, _ = acquire_shared_graph(graph)
+            with shared_graph_scope():
+                inner, _ = acquire_shared_graph(graph)
+                assert inner is outer
+            # The inner exit must not unlink the outer scope's cache.
+            assert acquire_shared_graph(graph)[0] is outer
+            assert outer.graph() is graph
+
+    def test_exception_inside_scope_still_unlinks(self):
+        graph = petersen()
+        try:
+            with shared_graph_scope():
+                handle, _ = acquire_shared_graph(graph)
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        import pickle
+
+        rebuilt = pickle.loads(pickle.dumps(handle))
+        try:
+            rebuilt.graph()
+        except FileNotFoundError:
+            pass
+        else:  # pragma: no cover
+            raise AssertionError("segments survived an exceptional scope exit")

@@ -111,10 +111,10 @@ class TestCorruption:
         assert cache.get("E0", "quick", 0, PARAMS) is None
 
 
-def _exploding_run(mode: str = "quick", seed: int = 0):
+def _exploding_run(workload=None, seed: int = 0, *, mode: str | None = None):
     if seed == 1:
         raise RuntimeError(f"worker died on seed {seed}")
-    return _REAL_E5_RUN(mode=mode, seed=seed)
+    return _REAL_E5_RUN(workload, seed=seed, mode=mode)
 
 
 _REAL_E5_RUN = e5_growth_bound.run

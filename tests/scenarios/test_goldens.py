@@ -1,0 +1,119 @@
+"""Cache-key and result back-compat goldens for the workload refactor.
+
+``tests/data/scenario_goldens.json`` was captured from the pre-scenario
+code (module constants + ``run(mode=...)`` only):
+
+* ``cache_keys`` — ``result_key(eid, mode, 0, resolved_parameters())``
+  for all 13 experiments × quick/full;
+* ``micro_result_digests`` — SHA-256 of the canonical result JSON of a
+  micro-scale quick run (seed 1) per experiment;
+* ``quick_result_digests`` — the same digest at *unpatched* quick scale
+  for E8 (its micro run is excluded: the old code hard-coded
+  ``circulant(513...)`` labels that ignored patched constants, a
+  stale-label bug the workload refactor fixes).
+
+These tests pin the acceptance criteria: preset workloads produce the
+same cache keys and bit-identical results as the old ``mode=`` path.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cache import result_key
+from repro.experiments import (
+    experiment_ids,
+    get_experiment,
+    resolved_parameters,
+)
+from repro.experiments.microscale import MICRO_OVERRIDES, apply_micro_overrides
+
+GOLDENS = json.loads(
+    (Path(__file__).resolve().parents[1] / "data" / "scenario_goldens.json").read_text()
+)
+
+
+def result_digest(result) -> str:
+    """The digest the goldens were captured with (repr-stable floats)."""
+    payload = json.dumps(
+        result.to_json_dict(), sort_keys=True, separators=(",", ":"), default=str
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class TestCacheKeyGoldens:
+    @pytest.mark.parametrize("experiment_id", experiment_ids())
+    @pytest.mark.parametrize("mode", ["quick", "full"])
+    def test_preset_keys_unchanged(self, experiment_id, mode):
+        golden = GOLDENS["cache_keys"][f"{experiment_id}:{mode}:0"]
+        # The legacy mode path ...
+        via_mode = result_key(
+            experiment_id, mode, 0, resolved_parameters(experiment_id, mode)
+        )
+        # ... and the preset-workload path must both produce the
+        # pre-refactor key.
+        workload = get_experiment(experiment_id).preset(mode)
+        via_workload = result_key(
+            experiment_id,
+            mode,
+            0,
+            resolved_parameters(experiment_id, workload=workload),
+        )
+        assert via_mode == golden
+        assert via_workload == golden
+
+    def test_scenario_workloads_get_their_own_keys(self):
+        module = get_experiment("E4")
+        bespoke = module.preset("quick").with_overrides({"trials": 999})
+        parameters = resolved_parameters("E4", workload=bespoke)
+        assert parameters["mode"] == "scenario"
+        assert parameters["workload"]["trials"] == 999
+        key = result_key("E4", "scenario", 0, parameters)
+        assert key != GOLDENS["cache_keys"]["E4:quick:0"]
+
+    def test_patched_constants_still_change_preset_keys(self, monkeypatch):
+        # The legacy scrape survives: micro-overriding a constant must
+        # move the key (stale cache entries can never be served).
+        module = get_experiment("E4")
+        before = result_key("E4", "quick", 0, resolved_parameters("E4", "quick"))
+        monkeypatch.setattr(module, "QUICK_TRIALS", 123)
+        after = result_key("E4", "quick", 0, resolved_parameters("E4", "quick"))
+        assert before != after
+
+
+class TestResultGoldens:
+    @pytest.mark.parametrize(
+        "experiment_id", sorted(GOLDENS["micro_result_digests"], key=lambda e: int(e[1:]))
+    )
+    def test_micro_results_bit_identical(self, experiment_id, monkeypatch):
+        """Preset workloads reproduce the pre-refactor results exactly."""
+        apply_micro_overrides(experiment_id, monkeypatch.setattr)
+        module = get_experiment(experiment_id)
+        result = module.run(module.preset("quick"), seed=1)
+        assert result.mode == "quick"
+        assert result_digest(result) == GOLDENS["micro_result_digests"][experiment_id]
+
+    def test_e8_quick_result_bit_identical(self):
+        """E8's golden is pinned at true quick scale (see module docstring)."""
+        module = get_experiment("E8")
+        result = module.run(mode="quick", seed=1)
+        assert result_digest(result) == GOLDENS["quick_result_digests"]["E8"]
+
+    def test_mode_shim_equals_workload_path(self, monkeypatch):
+        """run(mode=...) and run(preset workload) are the same run."""
+        apply_micro_overrides("E4", monkeypatch.setattr)
+        module = get_experiment("E4")
+        via_mode = module.run(mode="quick", seed=3)
+        via_workload = module.run(module.preset("quick"), seed=3)
+        assert via_mode.to_json_dict() == via_workload.to_json_dict()
+
+    def test_goldens_cover_every_experiment(self):
+        covered = set(GOLDENS["micro_result_digests"]) | set(
+            GOLDENS["quick_result_digests"]
+        )
+        assert covered == set(experiment_ids())
+        assert set(MICRO_OVERRIDES) == set(experiment_ids())

@@ -1,0 +1,139 @@
+"""Tests for the scenario registry, schema validation, and file loading."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ScenarioError
+from repro.experiments import experiment_ids, get_experiment, run_experiment
+from repro.scenarios import (
+    Scenario,
+    diversity_scenario_names,
+    get_scenario,
+    iter_scenarios,
+    load_scenario,
+    resolve_scenario,
+    scenario_names,
+    validate_scenario_dict,
+)
+
+
+class TestBuiltinRegistry:
+    def test_paper_presets_cover_every_experiment(self):
+        names = set(scenario_names())
+        for experiment_id in experiment_ids():
+            assert f"{experiment_id.lower()}-quick" in names
+            assert f"{experiment_id.lower()}-full" in names
+
+    def test_at_least_three_diversity_scenarios(self):
+        assert len(diversity_scenario_names()) >= 3
+
+    def test_every_builtin_resolves_to_a_workload(self):
+        for scenario in iter_scenarios():
+            workload = scenario.workload()
+            module = get_experiment(scenario.experiment_id)
+            assert isinstance(workload, module.WORKLOAD)
+
+    def test_preset_scenarios_equal_module_presets(self):
+        assert get_scenario("e3-quick").workload() == get_experiment("E3").preset("quick")
+
+    def test_diversity_scenarios_differ_from_presets(self):
+        for name in diversity_scenario_names():
+            scenario = get_scenario(name)
+            module = get_experiment(scenario.experiment_id)
+            workload = scenario.workload()
+            assert workload != module.preset("quick")
+            assert workload != module.preset("full")
+
+    def test_unknown_scenario_names_the_remedies(self):
+        with pytest.raises(ScenarioError, match="scenario list"):
+            get_scenario("e99-mystery")
+
+
+class TestScenarioSchema:
+    def _valid(self) -> dict:
+        return {
+            "name": "demo",
+            "experiment_id": "E4",
+            "base": "quick",
+            "overrides": {"trials": 150, "exact_t_max": 3},
+        }
+
+    def test_valid_description_parses(self):
+        scenario = validate_scenario_dict(self._valid())
+        assert scenario.workload().trials == 150
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ScenarioError, match="unknown keys.*'Name'"):
+            validate_scenario_dict({**self._valid(), "Name": "x"})
+
+    def test_missing_name_or_id_rejected(self):
+        with pytest.raises(ScenarioError, match="'name'"):
+            validate_scenario_dict({"experiment_id": "E4"})
+        with pytest.raises(ScenarioError, match="'experiment_id'"):
+            validate_scenario_dict({"name": "x"})
+
+    def test_bad_base_rejected(self):
+        with pytest.raises(ScenarioError, match="base"):
+            validate_scenario_dict({**self._valid(), "base": "huge"})
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ScenarioError, match="unknown experiment"):
+            validate_scenario_dict({**self._valid(), "experiment_id": "E99"})
+
+    def test_misfitting_overrides_rejected(self):
+        with pytest.raises(ScenarioError, match="no field"):
+            validate_scenario_dict({**self._valid(), "overrides": {"sizes": [64]}})
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ScenarioError, match="must be an object"):
+            validate_scenario_dict(["not", "a", "scenario"])
+
+
+class TestScenarioFiles:
+    def test_load_and_resolve_by_path(self, tmp_path):
+        path = tmp_path / "demo.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "name": "file-demo",
+                    "experiment_id": "E4",
+                    "overrides": {"trials": 120, "exact_t_max": 3},
+                }
+            )
+        )
+        scenario = load_scenario(path)
+        assert scenario.name == "file-demo"
+        assert resolve_scenario(str(path)) == scenario
+        # Registry names still resolve through the same entry point.
+        assert resolve_scenario("e4-quick").experiment_id == "E4"
+
+    def test_malformed_file_errors_name_the_path(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{nope")
+        with pytest.raises(ScenarioError, match="broken.json"):
+            load_scenario(path)
+        with pytest.raises(ScenarioError, match="cannot read"):
+            load_scenario(tmp_path / "missing.json")
+
+
+class TestScenarioExecution:
+    def test_diversity_scenario_runs_end_to_end(self):
+        scenario = Scenario(
+            name="tiny-hypercube",
+            experiment_id="E2",
+            overrides={"sizes": (16, 32, 64), "samples": 3, "family": "hypercube"},
+        )
+        result = run_experiment("E2", workload=scenario.workload(), seed=1)
+        assert result.mode == "scenario"
+        assert result.parameters["workload"]["family"] == {"kind": "hypercube"}
+        assert result.findings
+
+    def test_power_law_family_runs_irregular_graphs(self):
+        workload = get_experiment("E2").preset("quick").with_overrides(
+            {"sizes": (32, 64), "samples": 3, "family": {"kind": "power_law", "attach": 3}}
+        )
+        result = run_experiment("E2", workload=workload, seed=1)
+        assert result.tables["BIPS vs COBRA"].n_rows == 2
