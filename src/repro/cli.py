@@ -80,6 +80,17 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("experiment", help="experiment id, e.g. E1")
     _add_run_options(run)
     run.add_argument(
+        "--engine",
+        default=None,
+        choices=("process", "batch", "event"),
+        help=(
+            "measurement engine for engine-aware experiments: 'batch' "
+            "(vectorised rounds, the default), 'process' (sequential "
+            "rounds), or 'event' (continuous-time Gillespie); shorthand "
+            "for --set engine=NAME"
+        ),
+    )
+    run.add_argument(
         "--set",
         action="append",
         default=[],
@@ -589,6 +600,10 @@ def main(argv: Sequence[str] | None = None) -> int:
             workload = None
             file_tag = None
             overrides = _parse_overrides(args.overrides)
+            if args.engine is not None:
+                # --engine is sugar for --set engine=NAME; an explicit
+                # --set engine=... wins so the two spellings never fight.
+                overrides.setdefault("engine", args.engine)
             if overrides:
                 from repro.experiments import get_experiment
                 from repro.scenarios.base import overrides_digest

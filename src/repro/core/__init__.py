@@ -22,6 +22,13 @@ from repro.core.dynamic import (
     EvolvingRegularGraph,
     static_provider,
 )
+from repro.core.event import (
+    SisEventResult,
+    event_bips_infection_times,
+    event_cobra_cover_times,
+    event_sis_times,
+    resolve_edge_rates,
+)
 from repro.core.process import RoundRecord, SpreadingProcess, Trace
 from repro.core.pull import PullProcess
 from repro.core.push import PushProcess
@@ -55,6 +62,11 @@ __all__ = [
     "batch_cobra_traces",
     "batch_bips_traces",
     "BatchTraces",
+    "event_cobra_cover_times",
+    "event_bips_infection_times",
+    "event_sis_times",
+    "SisEventResult",
+    "resolve_edge_rates",
     "DynamicCobraProcess",
     "DynamicBipsProcess",
     "EvolvingRegularGraph",

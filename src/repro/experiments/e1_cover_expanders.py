@@ -83,7 +83,12 @@ def run(
             graph, lam = expander_with_gap(n, r, seed=graph_seed)
             graph_seed += 1
             result = measure_cobra_cover(
-                graph, n_samples=samples, seed=(seed, n, r), branching=wl.branching
+                graph,
+                n_samples=samples,
+                seed=(seed, n, r),
+                branching=wl.branching,
+                engine=wl.engine,
+                transmission_rate=wl.transmission_rate,
             )
             measurements.add_row(
                 [
@@ -111,7 +116,12 @@ def run(
     for n in sizes:
         graph = complete(n)
         result = measure_cobra_cover(
-            graph, n_samples=samples, seed=(seed, n, 999_983), branching=wl.branching
+            graph,
+            n_samples=samples,
+            seed=(seed, n, 999_983),
+            branching=wl.branching,
+            engine=wl.engine,
+            transmission_rate=wl.transmission_rate,
         )
         complete_rows.add_row(
             [n, 1.0 / (n - 1), result.stats.mean, result.stats.mean / math.log2(n)]
@@ -148,7 +158,7 @@ def run(
                 "degrees": list(degrees),
                 "samples": samples,
                 "branching": wl.branching,
-                "engine": "batch",
+                "engine": wl.engine,
             },
         ),
         tables={

@@ -78,8 +78,23 @@ def run(
     ratios: list[float] = []
     for offset, n in enumerate(sizes):
         graph, lam = family_with_gap(wl.family, n, seed=seed + offset)
-        bips = measure_bips_infection(graph, n_samples=samples, seed=(seed, n, 1))
-        cobra = measure_cobra_cover(graph, n_samples=samples, seed=(seed, n, 2))
+        bips = measure_bips_infection(
+            graph,
+            n_samples=samples,
+            seed=(seed, n, 1),
+            engine=wl.engine,
+            transmission_rate=wl.transmission_rate,
+            recovery_rate=wl.recovery_rate,
+            edge_rate_overrides=wl.edge_rate_overrides,
+        )
+        cobra = measure_cobra_cover(
+            graph,
+            n_samples=samples,
+            seed=(seed, n, 2),
+            engine=wl.engine,
+            transmission_rate=wl.transmission_rate,
+            edge_rate_overrides=wl.edge_rate_overrides,
+        )
         ratio = bips.stats.mean / cobra.stats.mean
         # Bipartite family members (e.g. hypercubes) have lambda = 1,
         # where Theorem 1's bound is vacuous.
@@ -124,7 +139,7 @@ def run(
                 "sizes": list(sizes),
                 "degree": wl.family.params.get("degree", DEGREE),
                 "samples": samples,
-                "engine": "batch",
+                "engine": wl.engine,
             },
         ),
         tables={"BIPS vs COBRA": table, "log-n fits": fits},

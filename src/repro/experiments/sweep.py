@@ -17,6 +17,7 @@ from repro._rng import SeedLike, derive_seed_sequence
 from repro.analysis.stats import SummaryStats, summarize
 from repro.core.batch import batch_bips_infection_times, batch_cobra_cover_times
 from repro.core.bips import BipsProcess
+from repro.core.event import event_bips_infection_times, event_cobra_cover_times
 from repro.core.cobra import CobraProcess
 from repro.core.push import PushProcess
 from repro.core.pushpull import PushPullProcess
@@ -59,16 +60,44 @@ def _measure(
     return EnsembleMeasurement(times=times, stats=summarize(times))
 
 
-def _validate_engine(engine: str, backend=None) -> None:
-    if engine not in ("process", "batch"):
+#: The engine-selection seam: every measurement helper that offers a
+#: choice accepts exactly these names (and the CLI mirrors them).
+ENGINES = ("process", "batch", "event")
+
+
+def _validate_engine(engine: str, backend=None, rate_options=None) -> None:
+    if engine not in ENGINES:
         raise ExperimentError(
-            f"engine must be 'process' or 'batch', got {engine!r}"
+            f"engine must be one of {', '.join(repr(e) for e in ENGINES)}, "
+            f"got {engine!r}"
         )
     if backend is not None and engine != "batch":
         raise ExperimentError(
-            f"backend={backend!r} requires engine='batch'; the sequential "
-            f"'process' engine runs on host NumPy only"
+            f"backend={backend!r} requires engine='batch'; the other engines "
+            f"run on host NumPy only"
         )
+    if engine != "event" and rate_options:
+        names = ", ".join(sorted(rate_options))
+        raise ExperimentError(
+            f"{names} only apply to the continuous-time engine; pass "
+            f"engine='event' (got engine={engine!r})"
+        )
+
+
+def _event_max_time(
+    max_rounds: int | None, time_step: float | None, transmission_rate: float
+) -> float | None:
+    """``max_rounds`` converted to the event engine's time horizon.
+
+    One round corresponds to one tick (``time_step`` mode) or to the
+    mean firing interval ``1 / transmission_rate`` (asynchronous mode),
+    so round-based callers keep their timeout semantics.
+    """
+    if max_rounds is None:
+        return None
+    if time_step is not None:
+        return max_rounds * time_step
+    return max_rounds / transmission_rate
 
 
 def measure_cobra_cover(
@@ -82,6 +111,9 @@ def measure_cobra_cover(
     jobs: int | None = None,
     engine: str = "batch",
     backend=None,
+    transmission_rate: float = 1.0,
+    time_step: float | None = None,
+    edge_rate_overrides=None,
 ) -> EnsembleMeasurement:
     """Ensemble of COBRA cover times on ``graph``.
 
@@ -91,13 +123,43 @@ def measure_cobra_cover(
     :class:`~repro.core.cobra.CobraProcess` replicas instead.  The two
     are identical in distribution (any real branching factor,
     including the fractional ``1 + ρ`` of Theorem 3), and the batch
-    engine is much faster for large ensembles.  ``jobs`` shards the
-    replicas over worker processes with seed-stable results either
-    way.  ``backend`` selects the batch engine's array backend
-    (``None`` = the process-wide default; requires
-    ``engine="batch"``).
+    engine is much faster for large ensembles.  ``engine="event"``
+    runs the continuous-time Gillespie kernel
+    (:func:`~repro.core.event.event_cobra_cover_times`), which is the
+    only engine accepting the rate options: ``transmission_rate``,
+    ``time_step`` (``None`` = asynchronous exponential clocks, a float
+    = the discrete-round limit), and ``edge_rate_overrides``
+    (``(u, v, rate)`` triples).  All engines are identical in
+    distribution at uniform rates (the event engine in the round
+    limit), and ``max_rounds`` maps onto the event engine's time
+    horizon one round per tick (or per mean firing interval).
+    ``jobs`` shards the replicas over worker processes with
+    seed-stable results in every engine.  ``backend`` selects the
+    batch engine's array backend (``None`` = the process-wide default;
+    requires ``engine="batch"``).
     """
-    _validate_engine(engine, backend)
+    rate_options = {}
+    if transmission_rate != 1.0:
+        rate_options["transmission_rate"] = transmission_rate
+    if time_step is not None:
+        rate_options["time_step"] = time_step
+    if edge_rate_overrides:
+        rate_options["edge_rate_overrides"] = edge_rate_overrides
+    _validate_engine(engine, backend, rate_options)
+    if engine == "event":
+        times = event_cobra_cover_times(
+            graph,
+            start,
+            branching=branching,
+            transmission_rate=transmission_rate,
+            time_step=time_step,
+            edge_rate_overrides=edge_rate_overrides,
+            n_replicas=n_samples,
+            seed=seed,
+            max_time=_event_max_time(max_rounds, time_step, transmission_rate),
+            jobs=jobs,
+        )
+        return EnsembleMeasurement(times=times, stats=summarize(times))
     if engine == "batch":
         times = batch_cobra_cover_times(
             graph,
@@ -130,13 +192,45 @@ def measure_bips_infection(
     jobs: int | None = None,
     engine: str = "batch",
     backend=None,
+    transmission_rate: float = 1.0,
+    recovery_rate: float = 0.0,
+    time_step: float | None = None,
+    edge_rate_overrides=None,
 ) -> EnsembleMeasurement:
     """Ensemble of BIPS infection times on ``graph``.
 
-    Supports the same ``engine`` / ``jobs`` / ``backend`` options (and
-    the same ``"batch"`` default) as :func:`measure_cobra_cover`.
+    Supports the same ``engine`` / ``jobs`` / ``backend`` / rate
+    options (and the same ``"batch"`` default) as
+    :func:`measure_cobra_cover`, plus ``recovery_rate``: with
+    ``engine="event"`` and asynchronous clocks, infected non-source
+    vertices additionally recover spontaneously at that rate
+    (:func:`~repro.core.event.event_bips_infection_times`).
     """
-    _validate_engine(engine, backend)
+    rate_options = {}
+    if transmission_rate != 1.0:
+        rate_options["transmission_rate"] = transmission_rate
+    if recovery_rate != 0.0:
+        rate_options["recovery_rate"] = recovery_rate
+    if time_step is not None:
+        rate_options["time_step"] = time_step
+    if edge_rate_overrides:
+        rate_options["edge_rate_overrides"] = edge_rate_overrides
+    _validate_engine(engine, backend, rate_options)
+    if engine == "event":
+        times = event_bips_infection_times(
+            graph,
+            source,
+            branching=branching,
+            transmission_rate=transmission_rate,
+            recovery_rate=recovery_rate,
+            time_step=time_step,
+            edge_rate_overrides=edge_rate_overrides,
+            n_replicas=n_samples,
+            seed=seed,
+            max_time=_event_max_time(max_rounds, time_step, transmission_rate),
+            jobs=jobs,
+        )
+        return EnsembleMeasurement(times=times, stats=summarize(times))
     if engine == "batch":
         times = batch_bips_infection_times(
             graph,

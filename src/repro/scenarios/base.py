@@ -33,7 +33,7 @@ canonical JSON.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, fields, replace
+from dataclasses import MISSING, dataclass, fields, replace
 from typing import Any, Callable, ClassVar, Mapping
 
 from repro.errors import ScenarioError
@@ -206,6 +206,21 @@ def object_field(
     return FieldSpec(coerce, doc)
 
 
+def choice_field(options: tuple[str, ...], doc: str = "") -> FieldSpec:
+    """A string field restricted to a fixed set of options."""
+
+    def coerce(name: str, value: Any) -> str:
+        if not isinstance(value, str) or value not in options:
+            raise _reject(
+                name,
+                f"must be one of {', '.join(repr(o) for o in options)}, "
+                f"got {value!r}",
+            )
+        return value
+
+    return FieldSpec(coerce, doc)
+
+
 def object_tuple_field(
     from_value: Callable[[Any], Any],
     min_items: int = 1,
@@ -272,7 +287,12 @@ class Workload:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "Workload":
-        """Inverse of :meth:`to_dict`; unknown or missing keys are errors."""
+        """Inverse of :meth:`to_dict`; unknown keys are errors.
+
+        Fields with dataclass defaults may be omitted (so descriptions
+        written before a field existed keep loading); fields without a
+        default are required.
+        """
         if not isinstance(data, Mapping):
             raise ScenarioError(
                 f"{cls.__name__} description must be an object, "
@@ -285,10 +305,15 @@ class Workload:
                 f"{cls.__name__} has no field(s) {unknown}; "
                 f"fields are {declared}"
             )
-        missing = sorted(set(declared) - set(data))
+        required = {
+            spec.name
+            for spec in fields(cls)
+            if spec.default is MISSING and spec.default_factory is MISSING
+        }
+        missing = sorted(required - set(data))
         if missing:
             raise ScenarioError(f"{cls.__name__} description is missing {missing}")
-        return cls(**{name: data[name] for name in declared})
+        return cls(**{name: data[name] for name in declared if name in data})
 
     # -- overrides -----------------------------------------------------
 

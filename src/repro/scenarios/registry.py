@@ -230,6 +230,50 @@ _DIVERSITY: tuple[Scenario, ...] = (
         },
     ),
     Scenario(
+        name="e1-event-expander",
+        experiment_id="E1",
+        description=(
+            "Theorem 1 under asynchronous Gillespie clocks: the continuous-time "
+            "event engine at transmission rate 2 on a compact expander ladder"
+        ),
+        overrides={
+            "sizes": (128, 256, 512),
+            "degrees": (8,),
+            "samples": 6,
+            "engine": "event",
+            "transmission_rate": 2.0,
+        },
+    ),
+    Scenario(
+        name="e2-event-sparse",
+        experiment_id="E2",
+        description=(
+            "BIPS vs COBRA on 2-D tori via the event engine — the sparse-"
+            "frontier regime where event cost beats rounds x n"
+        ),
+        overrides={
+            "sizes": (49, 121, 225),
+            "samples": 6,
+            "family": {"kind": "torus", "dims": 2},
+            "engine": "event",
+        },
+    ),
+    Scenario(
+        name="e2-heterogeneous-rates",
+        experiment_id="E2",
+        description=(
+            "per-edge transmission-rate heterogeneity on circulants — a fast "
+            "(0,1) contact and a throttled (1,2) contact, event engine only"
+        ),
+        overrides={
+            "sizes": (65, 129),
+            "samples": 6,
+            "family": {"kind": "circulant", "offsets": (1, 2)},
+            "engine": "event",
+            "edge_rate_overrides": ((0, 1, 4.0), (1, 2, 0.25)),
+        },
+    ),
+    Scenario(
         name="e3-thin-surplus",
         experiment_id="E3",
         description=(

@@ -24,6 +24,7 @@ from repro.errors import ScenarioError
 from repro.scenarios.base import (
     FieldSpec,
     Workload,
+    choice_field,
     float_field,
     float_tuple_field,
     int_field,
@@ -32,6 +33,46 @@ from repro.scenarios.base import (
     object_tuple_field,
 )
 from repro.scenarios.families import GraphCase, GraphFamily
+
+#: Engine names the engine-aware workloads accept (the seam of
+#: :func:`repro.experiments.sweep.measure_cobra_cover` and friends).
+ENGINE_CHOICES = ("process", "batch", "event")
+
+
+def _edge_rate_triple(item):
+    """One ``(u, v, rate)`` scenario entry, normalised to a tuple."""
+    if not isinstance(item, (list, tuple)) or len(item) != 3:
+        raise ScenarioError(f"expected a [u, v, rate] triple, got {item!r}")
+    u, v, rate = item
+    if (
+        isinstance(u, bool)
+        or isinstance(v, bool)
+        or not isinstance(u, int)
+        or not isinstance(v, int)
+    ):
+        raise ScenarioError(f"edge endpoints must be integers, got {item!r}")
+    if u < 0 or v < 0:
+        raise ScenarioError(f"edge endpoints must be >= 0, got {item!r}")
+    if u == v:
+        raise ScenarioError(f"edge endpoints must differ (no self-loops), got {item!r}")
+    if isinstance(rate, bool) or not isinstance(rate, (int, float)):
+        raise ScenarioError(f"edge rate must be a number, got {item!r}")
+    rate = float(rate)
+    if rate != rate or rate in (float("inf"), float("-inf")) or rate < 0.0:
+        raise ScenarioError(f"edge rate must be a finite number >= 0, got {rate}")
+    return (u, v, rate)
+
+
+def _require_event_engine(experiment: str, engine: str, rate_options) -> None:
+    """Reject rate fields left non-default while a round engine is selected."""
+    if engine == "event":
+        return
+    used = sorted(name for name, non_default in rate_options.items() if non_default)
+    if used:
+        raise ScenarioError(
+            f"{experiment} field(s) {', '.join(used)} only apply to the "
+            f"continuous-time engine; set engine='event' (got engine={engine!r})"
+        )
 
 
 @dataclass(frozen=True)
@@ -42,12 +83,18 @@ class E1Workload(Workload):
     degrees: tuple[int, ...]
     samples: int
     branching: float = 2.0
+    engine: str = "batch"
+    transmission_rate: float = 1.0
 
     FIELDS: ClassVar[dict[str, FieldSpec]] = {
         "sizes": int_tuple_field(minimum=8, doc="graph sizes n of the ladder"),
         "degrees": int_tuple_field(minimum=3, doc="regular degrees r to sweep"),
         "samples": int_field(minimum=1, doc="cover-time replicas per (n, r) cell"),
         "branching": float_field(minimum=1.0, doc="COBRA branching factor k"),
+        "engine": choice_field(ENGINE_CHOICES, doc="measurement engine"),
+        "transmission_rate": float_field(
+            minimum=1e-9, doc="event-engine firing rate per active site"
+        ),
     }
 
     def validate(self) -> None:
@@ -57,6 +104,9 @@ class E1Workload(Workload):
                 raise ScenarioError(
                     f"E1 degree {degree} must be below the smallest size {smallest}"
                 )
+        _require_event_engine(
+            "E1", self.engine, {"transmission_rate": self.transmission_rate != 1.0}
+        )
 
 
 @dataclass(frozen=True)
@@ -66,6 +116,10 @@ class E2Workload(Workload):
     sizes: tuple[int, ...]
     samples: int
     family: GraphFamily
+    engine: str = "batch"
+    transmission_rate: float = 1.0
+    recovery_rate: float = 0.0
+    edge_rate_overrides: tuple[tuple[int, int, float], ...] = ()
 
     FIELDS: ClassVar[dict[str, FieldSpec]] = {
         "sizes": int_tuple_field(minimum=8, doc="graph sizes n of the ladder"),
@@ -73,11 +127,39 @@ class E2Workload(Workload):
         "family": object_field(
             GraphFamily.from_value, doc="graph family the ladder is built from"
         ),
+        "engine": choice_field(ENGINE_CHOICES, doc="measurement engine"),
+        "transmission_rate": float_field(
+            minimum=1e-9, doc="event-engine firing rate per armed vertex"
+        ),
+        "recovery_rate": float_field(
+            minimum=0.0, doc="event-engine spontaneous recovery rate (BIPS)"
+        ),
+        "edge_rate_overrides": object_tuple_field(
+            _edge_rate_triple,
+            min_items=0,
+            doc="per-edge contact-rate overrides as [u, v, rate] triples",
+        ),
     }
 
     def validate(self) -> None:
         for n in self.sizes:
             self.family.validate_size(n)
+        _require_event_engine(
+            "E2",
+            self.engine,
+            {
+                "transmission_rate": self.transmission_rate != 1.0,
+                "recovery_rate": self.recovery_rate != 0.0,
+                "edge_rate_overrides": bool(self.edge_rate_overrides),
+            },
+        )
+        for u, v, _rate in self.edge_rate_overrides:
+            for endpoint in (u, v):
+                if endpoint >= min(self.sizes):
+                    raise ScenarioError(
+                        f"E2 edge_rate_overrides endpoint {endpoint} must fit "
+                        f"the smallest ladder size {min(self.sizes)}"
+                    )
 
 
 @dataclass(frozen=True)

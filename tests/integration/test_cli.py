@@ -180,6 +180,37 @@ class TestCommands:
         assert "[E4]" in capsys.readouterr().out
         assert (tmp_path / "e4_quick.json").exists()
 
+    def test_run_with_engine_flag(self, capsys, tmp_path):
+        assert (
+            main(
+                [
+                    "run",
+                    "E1",
+                    "--engine",
+                    "event",
+                    "--set",
+                    "sizes=32,64",
+                    "--set",
+                    "degrees=3",
+                    "--set",
+                    "samples=2",
+                    "--out",
+                    str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        assert "[E1]" in capsys.readouterr().out
+        saved = list(tmp_path.glob("e1_quick-*.json"))
+        assert len(saved) == 1
+        payload = json.loads(saved[0].read_text())
+        assert payload["parameters"]["workload"]["engine"] == "event"
+
+    def test_engine_flag_rejects_unknown_engine(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", "E1", "--engine", "quantum"])
+        assert "--engine" in capsys.readouterr().err
+
     def test_negative_jobs_rejected(self, capsys):
         assert main(["--jobs", "-1", "list"]) == 1
         assert "jobs" in capsys.readouterr().err
