@@ -242,7 +242,9 @@ class Backend(ABC):
         hit = self._graph_cache.get(key)
         if hit is not None and hit[0] is graph:
             return hit[1]
-        device = self.asarray(graph.indices)
+        # Upcast narrow (int32) storage once at residency time so the
+        # kernels see the same int64 vocabulary on every backend.
+        device = self.asarray(np.asarray(graph.indices, dtype=np.int64))
         if len(self._graph_cache) >= _GRAPH_CACHE_SIZE:
             self._graph_cache.pop(next(iter(self._graph_cache)))
         self._graph_cache[key] = (graph, device)

@@ -109,5 +109,6 @@ class NumpyBackend(Backend):
         return uniform_draws(rng, bound, count, width)
 
     def graph_indices(self, graph: Any) -> np.ndarray:
-        # Host arrays are already "resident": no copy, no cache entry.
-        return graph.indices
+        # Host arrays are already "resident": no copy, no cache entry
+        # (int32 storage upcasts; the default int64 passes through).
+        return np.asarray(graph.indices, dtype=np.int64)

@@ -82,12 +82,13 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--engine",
         default=None,
-        choices=("process", "batch", "event"),
+        choices=("process", "batch", "event", "sparse"),
         help=(
             "measurement engine for engine-aware experiments: 'batch' "
             "(vectorised rounds, the default), 'process' (sequential "
-            "rounds), or 'event' (continuous-time Gillespie); shorthand "
-            "for --set engine=NAME"
+            "rounds), 'event' (continuous-time Gillespie), or 'sparse' "
+            "(frontier-proportional kernels for million-vertex graphs); "
+            "shorthand for --set engine=NAME"
         ),
     )
     run.add_argument(

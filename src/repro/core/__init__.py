@@ -41,6 +41,7 @@ from repro.core.runner import (
     sample_completion_times,
 )
 from repro.core.sis import SisProcess
+from repro.core.sparse import sparse_bips_infection_times, sparse_cobra_cover_times
 
 __all__ = [
     "SpreadingProcess",
@@ -62,6 +63,8 @@ __all__ = [
     "batch_cobra_traces",
     "batch_bips_traces",
     "BatchTraces",
+    "sparse_cobra_cover_times",
+    "sparse_bips_infection_times",
     "event_cobra_cover_times",
     "event_bips_infection_times",
     "event_sis_times",

@@ -463,6 +463,36 @@ def _resolve_engine_backend(graph: Graph, backend: "str | Backend | None") -> Ba
     return resolved
 
 
+def _check_memory_budget(
+    graph: Graph,
+    engine_backend: Backend,
+    process: str,
+    n_replicas: int,
+    mandatory: int,
+    record: bool,
+    shard_size: int | None,
+    jobs: int | None,
+) -> None:
+    """Fail fast when the dense ``(R, n)`` state cannot fit in memory.
+
+    Host-memory estimation only applies to the NumPy reference backend
+    — device backends budget their own memory.
+    """
+    if not engine_backend.is_numpy:
+        return
+    from repro.core.memory import check_dense_state_budget
+
+    check_dense_state_budget(
+        graph,
+        process=process,
+        n_replicas=n_replicas,
+        mandatory=mandatory,
+        record=record,
+        shard_size=shard_size,
+        jobs=jobs,
+    )
+
+
 def _run_sharded(
     kernel,
     graph: Graph,
@@ -488,7 +518,11 @@ def _run_sharded(
     bounds = shard_bounds(n_replicas, shard_size)
     seeds = spawn_seed_sequences(seed, len(bounds))
     tasks = [(start, stop, shard_seed) for (start, stop), shard_seed in zip(bounds, seeds)]
-    if will_pool(jobs, len(tasks)) and pool_start_method() != "fork":
+    # Graphs that pickle to a few bytes (implicit topologies) ship
+    # directly — publishing them would require CSR arrays they don't
+    # have, and there is nothing worth sharing anyway.
+    compact = getattr(graph, "ships_compactly", False)
+    if not compact and will_pool(jobs, len(tasks)) and pool_start_method() != "fork":
         handle, caller_owns = acquire_shared_graph(graph)
         try:
             return map_shards(kernel, (handle, *parameters), tasks, jobs=jobs)
@@ -570,6 +604,9 @@ def batch_cobra_cover_times(
     if max_rounds is None:
         max_rounds = default_max_rounds(graph)
     engine_backend = _resolve_engine_backend(graph, backend)
+    _check_memory_budget(
+        graph, engine_backend, "cobra", n_replicas, mandatory, False, shard_size, jobs
+    )
     parameters = (
         start, mandatory, rho, max_rounds, include_start_in_cover, False, engine_backend,
     )
@@ -613,6 +650,9 @@ def batch_cobra_traces(
     if max_rounds is None:
         max_rounds = default_max_rounds(graph)
     engine_backend = _resolve_engine_backend(graph, backend)
+    _check_memory_budget(
+        graph, engine_backend, "cobra", n_replicas, mandatory, True, shard_size, jobs
+    )
     parameters = (
         start, mandatory, rho, max_rounds, include_start_in_cover, True, engine_backend,
     )
@@ -660,6 +700,9 @@ def batch_bips_infection_times(
     if max_rounds is None:
         max_rounds = default_max_rounds(graph)
     engine_backend = _resolve_engine_backend(graph, backend)
+    _check_memory_budget(
+        graph, engine_backend, "bips", n_replicas, mandatory, False, shard_size, jobs
+    )
     parameters = (source, mandatory, rho, max_rounds, False, engine_backend)
     times = np.concatenate(
         _run_sharded(_bips_shard, graph, parameters, n_replicas, seed, shard_size, jobs)
@@ -701,6 +744,9 @@ def batch_bips_traces(
     if max_rounds is None:
         max_rounds = default_max_rounds(graph)
     engine_backend = _resolve_engine_backend(graph, backend)
+    _check_memory_budget(
+        graph, engine_backend, "bips", n_replicas, mandatory, True, shard_size, jobs
+    )
     parameters = (source, mandatory, rho, max_rounds, True, engine_backend)
     times, active, newly, transmissions = _merge_traces(
         _run_sharded(_bips_shard, graph, parameters, n_replicas, seed, shard_size, jobs)

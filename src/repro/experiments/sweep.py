@@ -23,6 +23,7 @@ from repro.core.push import PushProcess
 from repro.core.pushpull import PushPullProcess
 from repro.core.randomwalk import RandomWalkProcess
 from repro.core.runner import sample_completion_times
+from repro.core.sparse import sparse_bips_infection_times, sparse_cobra_cover_times
 from repro.errors import ExperimentError
 from repro.graphs.base import Graph
 from repro.graphs.generators import random_regular
@@ -62,7 +63,7 @@ def _measure(
 
 #: The engine-selection seam: every measurement helper that offers a
 #: choice accepts exactly these names (and the CLI mirrors them).
-ENGINES = ("process", "batch", "event")
+ENGINES = ("process", "batch", "event", "sparse")
 
 
 def _validate_engine(engine: str, backend=None, rate_options=None) -> None:
@@ -133,8 +134,12 @@ def measure_cobra_cover(
     distribution at uniform rates (the event engine in the round
     limit), and ``max_rounds`` maps onto the event engine's time
     horizon one round per tick (or per mean firing interval).
-    ``jobs`` shards the replicas over worker processes with
-    seed-stable results in every engine.  ``backend`` selects the
+    ``engine="sparse"`` runs the frontier-sparse kernel
+    (:func:`~repro.core.sparse.sparse_cobra_cover_times`) whose
+    per-round cost tracks the active frontier instead of ``R·n`` —
+    the engine of choice for million-vertex graphs (also equal in
+    distribution).  ``jobs`` shards the replicas over worker processes
+    with seed-stable results in every engine.  ``backend`` selects the
     batch engine's array backend (``None`` = the process-wide default;
     requires ``engine="batch"``).
     """
@@ -157,6 +162,17 @@ def measure_cobra_cover(
             n_replicas=n_samples,
             seed=seed,
             max_time=_event_max_time(max_rounds, time_step, transmission_rate),
+            jobs=jobs,
+        )
+        return EnsembleMeasurement(times=times, stats=summarize(times))
+    if engine == "sparse":
+        times = sparse_cobra_cover_times(
+            graph,
+            start,
+            branching=branching,
+            n_replicas=n_samples,
+            seed=seed,
+            max_rounds=max_rounds,
             jobs=jobs,
         )
         return EnsembleMeasurement(times=times, stats=summarize(times))
@@ -228,6 +244,17 @@ def measure_bips_infection(
             n_replicas=n_samples,
             seed=seed,
             max_time=_event_max_time(max_rounds, time_step, transmission_rate),
+            jobs=jobs,
+        )
+        return EnsembleMeasurement(times=times, stats=summarize(times))
+    if engine == "sparse":
+        times = sparse_bips_infection_times(
+            graph,
+            source,
+            branching=branching,
+            n_replicas=n_samples,
+            seed=seed,
+            max_rounds=max_rounds,
             jobs=jobs,
         )
         return EnsembleMeasurement(times=times, stats=summarize(times))

@@ -9,8 +9,11 @@ Python-level loops:
 
 * ``indptr`` — ``int64`` array of length ``n + 1``; the neighbours of
   vertex ``u`` occupy ``indices[indptr[u]:indptr[u + 1]]``.
-* ``indices`` — ``int64`` array of length ``2m`` (each undirected edge
-  appears in both endpoint rows), sorted within each row.
+* ``indices`` — array of length ``2m`` (each undirected edge appears
+  in both endpoint rows), sorted within each row; stored as ``int64``
+  by default, or ``int32`` when a caller opts in via ``index_dtype``
+  and every vertex id fits (sampling outputs stay ``int64`` either
+  way).
 
 Graphs are **simple** (no self-loops, no parallel edges) and
 **undirected**; the constructor validates both, once, so every other
@@ -25,6 +28,37 @@ from typing import Iterator, Optional, Sequence
 import numpy as np
 
 from repro.errors import GraphConstructionError, GraphPropertyError
+
+#: Accepted values for the ``index_dtype`` construction option.
+INDEX_DTYPES = ("int64", "int32", "auto")
+
+
+def resolve_index_dtype(index_dtype: str, n_vertices: int) -> np.dtype:
+    """Map an ``index_dtype`` option to the storage dtype for ``indices``.
+
+    ``"int64"`` (the default) keeps the historical layout.  ``"int32"``
+    opts into half-width column indices — legal whenever every vertex id
+    fits, i.e. ``n <= 2**31`` — which halves the resident CSR (and any
+    :class:`~repro.parallel.SharedGraph` segment) at million-vertex
+    scale.  ``"auto"`` picks ``int32`` when it fits and ``int64``
+    otherwise.  Only the *storage* narrows: ``indptr`` stays ``int64``
+    and every sampling routine still returns ``int64`` arrays, so no
+    public dtype contract changes.
+    """
+    if index_dtype not in INDEX_DTYPES:
+        raise GraphConstructionError(
+            f"index_dtype must be one of {INDEX_DTYPES}, got {index_dtype!r}"
+        )
+    fits = n_vertices - 1 <= np.iinfo(np.int32).max
+    if index_dtype == "int32":
+        if not fits:
+            raise GraphConstructionError(
+                f"index_dtype='int32' cannot address {n_vertices} vertices"
+            )
+        return np.dtype(np.int32)
+    if index_dtype == "auto" and fits:
+        return np.dtype(np.int32)
+    return np.dtype(np.int64)
 
 
 def uniform_draws(
@@ -73,6 +107,10 @@ class Graph:
         When true (the default), check simplicity, symmetry, and index
         bounds; ``False`` is reserved for internal callers that have
         already validated.
+    index_dtype:
+        Storage dtype policy for ``indices`` — ``"int64"`` (default),
+        ``"int32"``, or ``"auto"``; see :func:`resolve_index_dtype`.
+        Sampling outputs are ``int64`` regardless.
     """
 
     __slots__ = (
@@ -91,12 +129,14 @@ class Graph:
         *,
         name: str = "graph",
         validate: bool = True,
+        index_dtype: str = "int64",
     ) -> None:
         # Copy unconditionally: validation sorts rows in place and the
         # arrays are frozen afterwards, neither of which may leak back
         # into caller-owned buffers.
         indptr = np.array(indptr, dtype=np.int64, copy=True)
-        indices = np.array(indices, dtype=np.int64, copy=True)
+        storage = resolve_index_dtype(index_dtype, max(indptr.size - 1, 0))
+        indices = np.array(indices, dtype=storage, copy=True)
         if indptr.ndim != 1 or indices.ndim != 1:
             raise GraphConstructionError("indptr and indices must be 1-D arrays")
         if indptr.size < 2:
@@ -156,13 +196,17 @@ class Graph:
         certifies the arrays describe a simple undirected graph with
         sorted rows (i.e. they came out of a validated :class:`Graph`);
         nothing is checked beyond the basic indptr frame, and the views
-        are frozen in place.  The arrays must be ``int64`` and
-        C-contiguous; buffers they borrow (e.g. a
-        ``multiprocessing.shared_memory`` segment) must outlive the
-        graph.
+        are frozen in place.  ``indptr`` must be ``int64``; ``indices``
+        may be ``int64`` or ``int32`` (e.g. a narrow graph or a
+        memory-mapped CSR) and keeps its dtype without copying.  The
+        arrays must be C-contiguous; buffers they borrow (e.g. a
+        ``multiprocessing.shared_memory`` segment or an ``np.memmap``)
+        must outlive the graph.
         """
         indptr = np.asarray(indptr, dtype=np.int64)
-        indices = np.asarray(indices, dtype=np.int64)
+        indices = np.asarray(indices)
+        if indices.dtype not in (np.dtype(np.int32), np.dtype(np.int64)):
+            indices = indices.astype(np.int64)
         if indptr.ndim != 1 or indices.ndim != 1:
             raise GraphConstructionError("indptr and indices must be 1-D arrays")
         if indptr.size < 2 or indptr[0] != 0 or indptr[-1] != indices.size:
@@ -200,20 +244,24 @@ class Graph:
         if np.any(np.diff(indptr) < 0):
             raise GraphConstructionError("indptr must be non-decreasing")
         # Sort rows in place before freezing so has_edge can binary-search.
-        for u in range(n):
-            row = indices[indptr[u] : indptr[u + 1]]
-            row.sort()
-            if row.size:
-                if np.any(row[1:] == row[:-1]):
-                    raise GraphConstructionError(f"vertex {u} has a duplicate (parallel) edge")
-                position = np.searchsorted(row, u)
-                if position < row.size and row[position] == u:
-                    raise GraphConstructionError(f"vertex {u} has a self-loop")
-        # Symmetry: the multiset of directed edges must equal its reverse.
+        # One global stable sort on (row, value) keys replaces the old
+        # per-row Python loop, which dominated construction at n >= 1e5:
+        # rows are already contiguous and in order, so sorting the
+        # composite key sorts within each row without crossing rows.
         sources = np.repeat(np.arange(n, dtype=np.int64), self._degrees)
         forward = sources * n + indices
-        backward = indices * n + sources
-        forward.sort()
+        forward.sort(kind="stable")
+        indices[:] = forward - sources * n
+        self_loops = np.flatnonzero(indices == sources)
+        if self_loops.size:
+            u = int(sources[self_loops[0]])
+            raise GraphConstructionError(f"vertex {u} has a self-loop")
+        duplicates = np.flatnonzero(forward[1:] == forward[:-1])
+        if duplicates.size:
+            u = int(sources[duplicates[0]])
+            raise GraphConstructionError(f"vertex {u} has a duplicate (parallel) edge")
+        # Symmetry: the multiset of directed edges must equal its reverse.
+        backward = indices.astype(np.int64) * n + sources
         backward.sort()
         if not np.array_equal(forward, backward):
             raise GraphConstructionError("adjacency is not symmetric (graph must be undirected)")
@@ -380,7 +428,7 @@ class Graph:
             # float multiply.
             positions = uniform_draws(rng, r, vertices.size, samples_per_vertex)
             positions += (vertices * r)[:, None]
-            return self._indices[positions]
+            return self._indices[positions].astype(np.int64, copy=False)
         degrees = self._degrees[vertices]
         if np.any(degrees == 0):
             bad = int(vertices[np.argmax(degrees == 0)])
@@ -388,7 +436,7 @@ class Graph:
         offsets = self._indptr[vertices]
         draws = rng.random((vertices.size, samples_per_vertex))
         positions = offsets[:, None] + (draws * degrees[:, None]).astype(np.int64)
-        return self._indices[positions]
+        return self._indices[positions].astype(np.int64, copy=False)
 
     def _sample_neighbors_on_backend(
         self, vertices, samples_per_vertex: int, rng: np.random.Generator, backend
@@ -452,7 +500,29 @@ class Graph:
         keys[slot_index >= degrees[:, None]] = np.inf
         chosen_slots = np.argpartition(keys, k - 1, axis=1)[:, :k]
         positions = self._indptr[vertices][:, None] + chosen_slots
-        return self._indices[positions]
+        return self._indices[positions].astype(np.int64, copy=False)
+
+    def neighborhoods(self, vertices: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Concatenated neighbour rows of ``vertices`` (vectorised).
+
+        Returns ``(counts, flat)`` where ``counts[i]`` is the degree of
+        ``vertices[i]`` and ``flat`` is the concatenation of the sorted
+        neighbour rows in query order (``counts.sum()`` entries).  The
+        sparse-frontier BIPS kernel uses this to expand the armed set
+        ``frontier ∪ N(frontier)`` in time proportional to the frontier
+        volume rather than ``n``.
+        """
+        vertices = np.asarray(vertices, dtype=np.int64)
+        counts = self._degrees[vertices].astype(np.int64, copy=False)
+        if vertices.size == 0:
+            return counts, np.empty(0, dtype=np.int64)
+        starts = self._indptr[vertices]
+        row_ends = np.cumsum(counts)
+        within = np.arange(row_ends[-1], dtype=np.int64) - np.repeat(
+            row_ends - counts, counts
+        )
+        flat = self._indices[np.repeat(starts, counts) + within]
+        return counts, flat.astype(np.int64, copy=False)
 
     # ------------------------------------------------------------------
     # Dunder methods
@@ -466,6 +536,8 @@ class Graph:
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Graph):
+            return NotImplemented
+        if not hasattr(other, "_indptr"):  # CSR-less subclass (implicit graphs)
             return NotImplemented
         return np.array_equal(self._indptr, other._indptr) and np.array_equal(
             self._indices, other._indices

@@ -1,0 +1,365 @@
+"""Implicit (materialisation-free) backends for structured graph families.
+
+The structured families the scenarios sweep — hypercube, torus,
+circulant — have neighbourhoods that are *computable*: the sorted
+neighbour row of any vertex follows from arithmetic on its id, so there
+is no reason to hold a ``2m``-entry CSR array in memory to sample from
+them.  The classes here subclass :class:`~repro.graphs.base.Graph` but
+store **no adjacency arrays at all**; memory is O(1) in ``n``, which is
+what lets the scenario layer run these families at n = 10^6–10^7.
+
+The one contract that matters: for the same seed, an implicit graph and
+its materialised CSR twin produce **bit-identical sampling streams**.
+:meth:`ImplicitGraph.sample_neighbors` performs the exact
+``uniform_draws`` call of the CSR regular-degree fast path and gathers
+from analytically computed sorted rows — the same values the CSR gather
+would have read.  The property tests in ``tests/graphs/test_implicit.py``
+pin this edge-for-edge and draw-for-draw.
+
+Implicit graphs work with every engine that samples through the public
+``Graph`` interface (process, batch, sparse, event).  They pickle to a
+few bytes (the constructor arguments), so spawn pools never need a
+:class:`~repro.parallel.SharedGraph` segment for them.  Operations that
+inherently need the CSR arrays (``indptr`` / ``indices`` /
+``neighbor_matrix`` / non-NumPy backends) raise
+:class:`~repro.errors.GraphPropertyError` pointing at
+:meth:`ImplicitGraph.materialize`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import GraphConstructionError, GraphPropertyError
+from repro.graphs.base import Graph, uniform_draws
+
+#: Vertex-chunk size for whole-graph walks (``edges``, ``materialize``):
+#: large enough to amortise per-call overhead, small enough that the
+#: per-chunk ``(chunk, r)`` row block stays cache-friendly.
+_CHUNK = 1 << 16
+
+
+class ImplicitGraph(Graph):
+    """A regular graph whose neighbour rows are computed, not stored.
+
+    Subclasses implement :meth:`neighbor_rows` (the sorted ``(F, r)``
+    neighbour rows of a vertex batch) plus :meth:`analytic_lambda` and
+    :meth:`_constructor_args`; everything else — sampling, degrees,
+    edge iteration, materialisation, pickling, equality — is derived
+    here.  Instances are immutable and O(1)-sized.
+    """
+
+    __slots__ = ("_n",)
+
+    #: Signals the parallel layer that pickling this graph costs a few
+    #: bytes, so spawn pools ship it directly instead of publishing a
+    #: shared-memory CSR segment (which it does not have).
+    ships_compactly = True
+
+    def __init__(self, n_vertices: int, degree: int, name: str) -> None:
+        if n_vertices < 1:
+            raise GraphConstructionError(
+                f"graph must have at least one vertex, got {n_vertices}"
+            )
+        self._n = int(n_vertices)
+        self._name = name
+        self._regular_degree = int(degree)
+        self._neighbor_matrix = None
+
+    # -- the subclass contract -----------------------------------------
+
+    def neighbor_rows(self, vertices: np.ndarray) -> np.ndarray:
+        """Sorted neighbour rows of ``vertices`` as an ``(F, r)`` array.
+
+        Row ``i`` must equal what ``indices[indptr[v]:indptr[v+1]]``
+        would hold for ``v = vertices[i]`` in the materialised CSR —
+        ascending, no duplicates.
+        """
+        raise NotImplementedError
+
+    def analytic_lambda(self) -> float:
+        """Closed-form ``max(|λ_2|, |λ_n|)`` of the transition matrix.
+
+        :func:`repro.graphs.spectral.lambda_second` dispatches here in
+        ``auto`` mode, since an eigensolve would require the CSR.
+        """
+        raise NotImplementedError
+
+    def _constructor_args(self) -> tuple:
+        """Arguments that rebuild this graph (pickling and equality)."""
+        raise NotImplementedError
+
+    # -- core accessors (CSR-free) -------------------------------------
+
+    @property
+    def n_vertices(self) -> int:
+        return self._n
+
+    @property
+    def n_edges(self) -> int:
+        return self._n * self._regular_degree // 2
+
+    def _no_csr(self, what: str) -> GraphPropertyError:
+        return GraphPropertyError(
+            f"implicit graph {self._name!r} stores no CSR arrays; call "
+            f".materialize() for a concrete Graph before using {what}"
+        )
+
+    @property
+    def indptr(self) -> np.ndarray:
+        raise self._no_csr("indptr")
+
+    @property
+    def indices(self) -> np.ndarray:
+        raise self._no_csr("indices")
+
+    @property
+    def neighbor_matrix(self) -> np.ndarray:
+        raise self._no_csr("neighbor_matrix")
+
+    @property
+    def degrees(self) -> np.ndarray:
+        # A zero-memory constant vector: broadcast_to allocates nothing.
+        return np.broadcast_to(np.int64(self._regular_degree), (self._n,))
+
+    def degree(self, u: int) -> int:
+        return self._regular_degree
+
+    @property
+    def min_degree(self) -> int:
+        return self._regular_degree
+
+    @property
+    def max_degree(self) -> int:
+        return self._regular_degree
+
+    def neighbors(self, u: int) -> np.ndarray:
+        row = self.neighbor_rows(np.asarray([u], dtype=np.int64))[0]
+        row.flags.writeable = False
+        return row
+
+    def has_edge(self, u: int, v: int) -> bool:
+        row = self.neighbors(u)
+        position = int(np.searchsorted(row, v))
+        return position < row.size and int(row[position]) == v
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        for base in range(0, self._n, _CHUNK):
+            block = np.arange(base, min(base + _CHUNK, self._n), dtype=np.int64)
+            rows = self.neighbor_rows(block)
+            sources = np.broadcast_to(block[:, None], rows.shape)
+            keep = sources < rows
+            for u, v in zip(sources[keep], rows[keep]):
+                yield (int(u), int(v))
+
+    # -- sampling (bit-identical to the CSR fast path) ------------------
+
+    def sample_neighbors(
+        self,
+        vertices: np.ndarray,
+        samples_per_vertex: int,
+        rng: np.random.Generator,
+        backend=None,
+    ) -> np.ndarray:
+        if samples_per_vertex < 1:
+            raise ValueError(
+                f"samples_per_vertex must be >= 1, got {samples_per_vertex}"
+            )
+        if backend is not None and not backend.is_numpy:
+            raise self._no_csr(f"the non-NumPy backend {backend.spec!r}")
+        vertices = np.asarray(vertices, dtype=np.int64)
+        if vertices.size == 0:
+            return np.empty((0, samples_per_vertex), dtype=np.int64)
+        # The same draw the CSR fast path makes; gathering the drawn
+        # positions from the computed rows reads the same values the
+        # flat ``indices`` gather would have.
+        r = self._regular_degree
+        positions = uniform_draws(rng, r, vertices.size, samples_per_vertex)
+        rows = self.neighbor_rows(vertices)
+        return np.take_along_axis(rows, positions, axis=1)
+
+    def sample_distinct_neighbors(
+        self, vertices: np.ndarray, samples_per_vertex: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        vertices = np.asarray(vertices, dtype=np.int64)
+        k = samples_per_vertex
+        if k < 1:
+            raise ValueError(f"samples_per_vertex must be >= 1, got {k}")
+        r = self._regular_degree
+        if r < k and vertices.size:
+            bad = int(vertices[0])
+            raise GraphPropertyError(
+                f"vertex {bad} has degree {r} < k={k}; "
+                "cannot sample that many distinct neighbours"
+            )
+        if vertices.size == 0:
+            return np.empty((0, k), dtype=np.int64)
+        if k == 1:
+            return self.sample_neighbors(vertices, 1, rng)
+        # Identical stream to the CSR path: on a regular graph its key
+        # matrix is (m, r) with no masked slots.
+        keys = rng.random((vertices.size, r))
+        chosen_slots = np.argpartition(keys, k - 1, axis=1)[:, :k]
+        rows = self.neighbor_rows(vertices)
+        return np.take_along_axis(rows, chosen_slots, axis=1)
+
+    def neighborhoods(self, vertices: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        vertices = np.asarray(vertices, dtype=np.int64)
+        counts = np.full(vertices.size, self._regular_degree, dtype=np.int64)
+        flat = self.neighbor_rows(vertices).reshape(-1)
+        return counts, flat
+
+    # -- materialisation ------------------------------------------------
+
+    def materialize(self, *, index_dtype: str = "int64") -> Graph:
+        """Build the concrete CSR :class:`Graph` this instance describes.
+
+        The rows are valid by construction, so the result adopts them
+        without re-validation; it compares equal (``==``) to the
+        corresponding generator output.
+        """
+        from repro.graphs.base import resolve_index_dtype
+
+        r = self._regular_degree
+        storage = resolve_index_dtype(index_dtype, self._n)
+        indices = np.empty(self._n * r, dtype=storage)
+        for base in range(0, self._n, _CHUNK):
+            block = np.arange(base, min(base + _CHUNK, self._n), dtype=np.int64)
+            indices[base * r : (base + block.size) * r] = self.neighbor_rows(
+                block
+            ).reshape(-1)
+        indptr = np.arange(self._n + 1, dtype=np.int64) * r
+        return Graph.adopt_validated_csr(indptr, indices, name=self._name)
+
+    # -- identity -------------------------------------------------------
+
+    def __reduce__(self):
+        return (type(self), self._constructor_args())
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}({self._name!r}, n={self.n_vertices}, "
+            f"m={self.n_edges}, r={self._regular_degree})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ImplicitGraph):
+            return NotImplemented
+        return (
+            type(self) is type(other)
+            and self._constructor_args() == other._constructor_args()
+        )
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self._constructor_args()))
+
+
+class ImplicitHypercube(ImplicitGraph):
+    """Binary hypercube `Q_d` with computed neighbourhoods."""
+
+    __slots__ = ("_dimension",)
+
+    def __init__(self, dimension: int) -> None:
+        if dimension < 1:
+            raise GraphConstructionError(
+                f"hypercube needs dimension >= 1, got {dimension}"
+            )
+        self._dimension = int(dimension)
+        super().__init__(1 << dimension, dimension, f"hypercube(d={dimension})")
+
+    def neighbor_rows(self, vertices: np.ndarray) -> np.ndarray:
+        bits = np.int64(1) << np.arange(self._dimension, dtype=np.int64)
+        rows = np.asarray(vertices, dtype=np.int64)[:, None] ^ bits
+        rows.sort(axis=1)
+        return rows
+
+    def analytic_lambda(self) -> float:
+        from repro.graphs.spectral import analytic_lambda
+
+        return analytic_lambda("hypercube", dimension=self._dimension)
+
+    def _constructor_args(self) -> tuple:
+        return (self._dimension,)
+
+
+class ImplicitTorus(ImplicitGraph):
+    """Discrete torus `Z_{L1} x ... x Z_{Ld}` with computed neighbourhoods."""
+
+    __slots__ = ("_sides", "_strides")
+
+    def __init__(self, side_lengths: Sequence[int]) -> None:
+        sides = tuple(int(side) for side in side_lengths)
+        if not sides:
+            raise GraphConstructionError("torus needs at least one dimension")
+        if any(side < 3 for side in sides):
+            raise GraphConstructionError(
+                f"torus side lengths must be >= 3, got {sides}"
+            )
+        self._sides = sides
+        strides = np.ones(len(sides), dtype=np.int64)
+        for axis in range(len(sides) - 2, -1, -1):
+            strides[axis] = strides[axis + 1] * sides[axis + 1]
+        strides.flags.writeable = False
+        self._strides = strides
+        n = int(np.prod(sides))
+        super().__init__(n, 2 * len(sides), f"torus(sides={sides})")
+
+    def neighbor_rows(self, vertices: np.ndarray) -> np.ndarray:
+        u = np.asarray(vertices, dtype=np.int64)
+        rows = np.empty((u.size, 2 * len(self._sides)), dtype=np.int64)
+        for axis, side in enumerate(self._sides):
+            stride = self._strides[axis]
+            coord = (u // stride) % side
+            rows[:, 2 * axis] = u + ((coord + 1) % side - coord) * stride
+            rows[:, 2 * axis + 1] = u + ((coord - 1) % side - coord) * stride
+        rows.sort(axis=1)
+        return rows
+
+    def analytic_lambda(self) -> float:
+        from repro.graphs.spectral import analytic_lambda
+
+        return analytic_lambda("torus", side_lengths=self._sides)
+
+    def _constructor_args(self) -> tuple:
+        return (self._sides,)
+
+
+class ImplicitCirculant(ImplicitGraph):
+    """Circulant graph `C_n(s1, ..., sj)` with computed neighbourhoods."""
+
+    __slots__ = ("_offsets", "_deltas")
+
+    def __init__(self, n: int, offsets: Sequence[int]) -> None:
+        if n < 3:
+            raise GraphConstructionError(f"circulant needs n >= 3, got {n}")
+        cleaned = sorted({int(s) for s in offsets})
+        if not cleaned:
+            raise GraphConstructionError("circulant needs at least one offset")
+        if cleaned[0] < 1 or cleaned[-1] > n // 2:
+            raise GraphConstructionError(
+                f"offsets must lie in [1, n//2]={n // 2}, got {cleaned}"
+            )
+        self._offsets = tuple(cleaned)
+        deltas = np.asarray(
+            sorted({s for offset in cleaned for s in (offset, n - offset)}),
+            dtype=np.int64,
+        )
+        deltas.flags.writeable = False
+        self._deltas = deltas
+        name = f"circulant(n={n}, offsets={tuple(cleaned)})"
+        super().__init__(n, deltas.size, name)
+
+    def neighbor_rows(self, vertices: np.ndarray) -> np.ndarray:
+        rows = (np.asarray(vertices, dtype=np.int64)[:, None] + self._deltas) % self._n
+        rows.sort(axis=1)
+        return rows
+
+    def analytic_lambda(self) -> float:
+        from repro.graphs.spectral import analytic_lambda
+
+        return analytic_lambda("circulant", n=self._n, offsets=self._offsets)
+
+    def _constructor_args(self) -> tuple:
+        return (self._n, self._offsets)

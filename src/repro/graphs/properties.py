@@ -15,19 +15,13 @@ def _bfs_levels(graph: Graph, source: int) -> np.ndarray:
     levels[source] = 0
     frontier = np.array([source], dtype=np.int64)
     depth = 0
-    indptr, indices = graph.indptr, graph.indices
     while frontier.size:
         depth += 1
-        # Gather all neighbours of the frontier in one vectorised pass.
-        counts = indptr[frontier + 1] - indptr[frontier]
-        total = int(counts.sum())
-        if total == 0:
+        # Gather all neighbours of the frontier in one vectorised pass;
+        # neighborhoods() works for CSR and implicit graphs alike.
+        _, gather = graph.neighborhoods(frontier)
+        if gather.size == 0:
             break
-        gather = np.empty(total, dtype=np.int64)
-        cursor = 0
-        for u, count in zip(frontier, counts):
-            gather[cursor : cursor + count] = indices[indptr[u] : indptr[u] + count]
-            cursor += count
         fresh = np.unique(gather[levels[gather] < 0])
         levels[fresh] = depth
         frontier = fresh

@@ -266,6 +266,10 @@ class SharedGraph:
         self._name = graph.name
         self._n_indptr = graph.indptr.size
         self._n_indices = graph.indices.size
+        # Indices may be stored narrow (int32); the segment and the
+        # worker-side views follow the graph's storage dtype so an
+        # opted-in graph ships at half width too.
+        self._indices_dtype = graph.indices.dtype.str
         self._owner = True
         # Assign both segment slots before creating anything so a
         # creation failure (e.g. a full /dev/shm) leaves an object
@@ -285,9 +289,9 @@ class SharedGraph:
             np.ndarray(self._n_indptr, dtype=np.int64, buffer=self._indptr_shm.buf)[
                 :
             ] = graph.indptr
-            np.ndarray(self._n_indices, dtype=np.int64, buffer=self._indices_shm.buf)[
-                :
-            ] = graph.indices
+            np.ndarray(
+                self._n_indices, dtype=self._indices_dtype, buffer=self._indices_shm.buf
+            )[:] = graph.indices
         except BaseException:
             self.unlink()
             raise
@@ -303,6 +307,7 @@ class SharedGraph:
             "name": self._name,
             "n_indptr": self._n_indptr,
             "n_indices": self._n_indices,
+            "indices_dtype": self._indices_dtype,
             "indptr_segment": self._indptr_segment,
             "indices_segment": self._indices_segment,
         }
@@ -311,6 +316,7 @@ class SharedGraph:
         self._name = state["name"]
         self._n_indptr = state["n_indptr"]
         self._n_indices = state["n_indices"]
+        self._indices_dtype = state["indices_dtype"]
         self._indptr_segment = state["indptr_segment"]
         self._indices_segment = state["indices_segment"]
         self._owner = False
@@ -335,7 +341,7 @@ class SharedGraph:
                 self._n_indptr, dtype=np.int64, buffer=self._indptr_shm.buf
             )
             indices = np.ndarray(
-                self._n_indices, dtype=np.int64, buffer=self._indices_shm.buf
+                self._n_indices, dtype=self._indices_dtype, buffer=self._indices_shm.buf
             )
             self._graph = Graph.adopt_validated_csr(indptr, indices, name=self._name)
         return self._graph

@@ -33,16 +33,25 @@ import numpy as np
 
 from repro._rng import SeedLike, derive_seed_sequence
 from repro.errors import ScenarioError
-from repro.graphs import generators
+from repro.graphs import generators, implicit
 from repro.graphs.base import Graph
 
 #: Family kinds and the parameters each accepts (``None`` = optional).
+#: The ``*_implicit`` kinds build the same topologies as their
+#: concrete namesakes but as :mod:`repro.graphs.implicit` backends —
+#: neighbours computed on the fly, no CSR arrays — so million-vertex
+#: ladders construct in O(1) memory.  They are separate kinds (not a
+#: storage flag) so a scenario's serialised form, and therefore its
+#: cache identity, states exactly what ran.
 FAMILY_KINDS: dict[str, dict[str, Any]] = {
     "random_regular": {"degree": 8},
     "complete": {},
     "hypercube": {},
     "torus": {"dims": 2},
     "circulant": {"offsets": (1, 2, 5)},
+    "hypercube_implicit": {},
+    "torus_implicit": {"dims": 2},
+    "circulant_implicit": {"offsets": (1, 2, 5)},
     "small_world": {"degree": 8, "rewire": 0.2},
     "power_law": {"attach": 4},
     "erdos_renyi": {"avg_degree": 8.0},
@@ -101,10 +110,10 @@ class GraphFamily:
                 raise ScenarioError(
                     f"small_world rewire must be in [0, 1], got {params['rewire']}"
                 )
-        if self.kind == "torus" and params["dims"] < 1:
-            raise ScenarioError(f"torus needs dims >= 1, got {params['dims']}")
-        if self.kind == "circulant" and not params["offsets"]:
-            raise ScenarioError("circulant needs at least one offset")
+        if self.kind in ("torus", "torus_implicit") and params["dims"] < 1:
+            raise ScenarioError(f"{self.kind} needs dims >= 1, got {params['dims']}")
+        if self.kind in ("circulant", "circulant_implicit") and not params["offsets"]:
+            raise ScenarioError(f"{self.kind} needs at least one offset")
         if self.kind == "power_law" and params["attach"] < 1:
             raise ScenarioError(f"power_law needs attach >= 1, got {params['attach']}")
         if self.kind == "erdos_renyi" and params["avg_degree"] <= 0:
@@ -150,16 +159,16 @@ class GraphFamily:
         """Reject sizes this family has no member of, naming the fix."""
         if n < 4:
             raise ScenarioError(f"graph family sizes must be >= 4, got {n}")
-        if self.kind == "hypercube" and n & (n - 1):
+        if self.kind in ("hypercube", "hypercube_implicit") and n & (n - 1):
             raise ScenarioError(
-                f"hypercube sizes must be powers of two, got {n}"
+                f"{self.kind} sizes must be powers of two, got {n}"
             )
-        if self.kind == "torus":
+        if self.kind in ("torus", "torus_implicit"):
             dims = self.params["dims"]
             side = round(n ** (1.0 / dims))
             if side**dims != n or side < 3:
                 raise ScenarioError(
-                    f"torus(dims={dims}) sizes must be side**{dims} with "
+                    f"{self.kind}(dims={dims}) sizes must be side**{dims} with "
                     f"side >= 3, got {n}"
                 )
         if self.kind == "random_regular":
@@ -195,6 +204,14 @@ class GraphFamily:
             return generators.torus((side,) * dims)
         if self.kind == "circulant":
             return generators.circulant(n, params["offsets"])
+        if self.kind == "hypercube_implicit":
+            return implicit.ImplicitHypercube(n.bit_length() - 1)
+        if self.kind == "torus_implicit":
+            dims = params["dims"]
+            side = round(n ** (1.0 / dims))
+            return implicit.ImplicitTorus((side,) * dims)
+        if self.kind == "circulant_implicit":
+            return implicit.ImplicitCirculant(n, params["offsets"])
         if self.kind == "small_world":
             rng = np.random.default_rng(derive_seed_sequence(seed))
             return generators.watts_strogatz(
@@ -226,6 +243,12 @@ class GraphFamily:
             return f"{params['dims']}-D torus"
         if self.kind == "circulant":
             return f"circulant{params['offsets']}"
+        if self.kind == "hypercube_implicit":
+            return "hypercube (implicit)"
+        if self.kind == "torus_implicit":
+            return f"{params['dims']}-D torus (implicit)"
+        if self.kind == "circulant_implicit":
+            return f"circulant{params['offsets']} (implicit)"
         if self.kind == "small_world":
             return f"small-world (k={params['degree']}, rewire={params['rewire']})"
         if self.kind == "power_law":
@@ -324,9 +347,9 @@ def nearest_valid_sizes(family: GraphFamily, sizes: tuple[int, ...]) -> tuple[in
     """
     snapped = []
     for n in sizes:
-        if family.kind == "hypercube":
+        if family.kind in ("hypercube", "hypercube_implicit"):
             snapped.append(1 << max(2, round(math.log2(n))))
-        elif family.kind == "torus":
+        elif family.kind in ("torus", "torus_implicit"):
             dims = family.params["dims"]
             side = max(3, round(n ** (1.0 / dims)))
             if side % 2 == 0:

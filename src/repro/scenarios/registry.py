@@ -230,6 +230,37 @@ _DIVERSITY: tuple[Scenario, ...] = (
         },
     ),
     Scenario(
+        name="e2-power-law-sparse",
+        experiment_id="E2",
+        description=(
+            "the power-law regime rerun on the sparse-frontier engine at "
+            "64x the diversity sizes — irregular hubs, rounds costing the "
+            "frontier instead of samples x n"
+        ),
+        overrides={
+            "sizes": (2048, 8192, 32768),
+            "samples": 8,
+            "family": {"kind": "power_law", "attach": 4},
+            "engine": "sparse",
+        },
+    ),
+    Scenario(
+        name="e2-torus-implicit-1m",
+        experiment_id="E2",
+        description=(
+            "BIPS vs COBRA on a million-vertex 3-D implicit torus: "
+            "neighbours computed on the fly (no CSR arrays), sparse-"
+            "frontier engine — runs to full completion in ~1 GB RSS "
+            "where the dense engines would need terabytes"
+        ),
+        overrides={
+            "sizes": (29_791, 103_823, 1_030_301),
+            "samples": 2,
+            "family": {"kind": "torus_implicit", "dims": 3},
+            "engine": "sparse",
+        },
+    ),
+    Scenario(
         name="e1-event-expander",
         experiment_id="E1",
         description=(

@@ -1,0 +1,108 @@
+"""Narrow (int32) CSR indices: opt-in, stream-identical, pool-safe."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphConstructionError
+from repro.graphs import generators
+from repro.graphs.base import INDEX_DTYPES, Graph, resolve_index_dtype
+from repro.parallel import SharedGraph
+
+
+class TestResolveIndexDtype:
+    def test_default_is_wide(self):
+        assert resolve_index_dtype("int64", 100) == np.dtype(np.int64)
+
+    def test_auto_narrows_when_ids_fit(self):
+        assert resolve_index_dtype("auto", 100) == np.dtype(np.int32)
+        assert resolve_index_dtype("auto", np.iinfo(np.int32).max + 1) == np.dtype(
+            np.int32
+        )
+        assert resolve_index_dtype("auto", np.iinfo(np.int32).max + 2) == np.dtype(
+            np.int64
+        )
+
+    def test_explicit_int32_validates_range(self):
+        assert resolve_index_dtype("int32", 100) == np.dtype(np.int32)
+        with pytest.raises(GraphConstructionError, match="int32"):
+            resolve_index_dtype("int32", np.iinfo(np.int32).max + 2)
+
+    def test_unknown_dtype_lists_choices(self):
+        with pytest.raises(GraphConstructionError) as caught:
+            resolve_index_dtype("int16", 100)
+        for choice in INDEX_DTYPES:
+            assert choice in str(caught.value)
+
+
+class TestNarrowGraphs:
+    def test_default_stays_int64(self):
+        graph = generators.cycle(8)
+        assert graph.indices.dtype == np.dtype(np.int64)
+
+    def test_opt_in_narrows_storage_not_outputs(self):
+        wide = generators.torus((8, 8))
+        narrow = Graph(wide.indptr, wide.indices, name=wide.name, index_dtype="int32")
+        assert narrow.indices.dtype == np.dtype(np.int32)
+        assert narrow == wide
+        vertices = np.arange(64, dtype=np.int64)
+        rng_a, rng_b = np.random.default_rng(21), np.random.default_rng(21)
+        picks_wide = wide.sample_neighbors(vertices, 3, rng_a)
+        picks_narrow = narrow.sample_neighbors(vertices, 3, rng_b)
+        assert np.array_equal(picks_wide, picks_narrow)
+        assert picks_narrow.dtype == np.dtype(np.int64)
+        # Identical downstream draws: the uniform_draws stream is untouched.
+        assert np.array_equal(rng_a.random(4), rng_b.random(4))
+
+    def test_distinct_sampling_stream_identical_too(self):
+        wide = generators.random_regular(60, 6, seed=3)
+        narrow = Graph(wide.indptr, wide.indices, name=wide.name, index_dtype="int32")
+        vertices = np.array([0, 5, 9], dtype=np.int64)
+        rng_a, rng_b = np.random.default_rng(4), np.random.default_rng(4)
+        assert np.array_equal(
+            wide.sample_distinct_neighbors(vertices, 2, rng_a),
+            narrow.sample_distinct_neighbors(vertices, 2, rng_b),
+        )
+
+    def test_generators_accept_index_dtype(self):
+        narrow = generators.hypercube(4, index_dtype="int32")
+        assert narrow.indices.dtype == np.dtype(np.int32)
+        assert narrow == generators.hypercube(4)
+        narrow = generators.torus((4, 5), index_dtype="auto")
+        assert narrow.indices.dtype == np.dtype(np.int32)
+        assert narrow == generators.torus((4, 5))
+        narrow = generators.circulant(9, (1, 2), index_dtype="int32")
+        assert narrow == generators.circulant(9, (1, 2))
+
+    def test_neighborhoods_outputs_are_int64(self):
+        narrow = generators.torus((5, 5), index_dtype="int32")
+        counts, flat = narrow.neighborhoods(np.array([0, 7], dtype=np.int64))
+        assert counts.dtype == np.dtype(np.int64)
+        assert flat.dtype == np.dtype(np.int64)
+
+
+class TestSharedGraphDtype:
+    def test_int32_roundtrips_through_shared_memory(self):
+        import pickle
+
+        wide = generators.random_regular(64, 4, seed=7)
+        narrow = Graph(wide.indptr, wide.indices, name=wide.name, index_dtype="int32")
+        with SharedGraph(narrow) as shared:
+            attached = pickle.loads(pickle.dumps(shared))
+            rebuilt = attached.graph()
+            assert rebuilt.indices.dtype == np.dtype(np.int32)
+            assert np.array_equal(rebuilt.indices, narrow.indices)
+            assert rebuilt == narrow
+            del rebuilt, attached
+
+    def test_int64_roundtrip_unchanged(self):
+        import pickle
+
+        graph = generators.random_regular(64, 4, seed=7)
+        with SharedGraph(graph) as shared:
+            attached = pickle.loads(pickle.dumps(shared))
+            rebuilt = attached.graph()
+            assert rebuilt.indices.dtype == np.dtype(np.int64)
+            assert rebuilt == graph
+            del rebuilt, attached

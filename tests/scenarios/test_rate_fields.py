@@ -21,7 +21,7 @@ class TestEngineField:
         assert e2().engine == "batch"
         assert E1Workload(sizes=(64,), degrees=(3,), samples=2).engine == "batch"
 
-    @pytest.mark.parametrize("engine", ["process", "batch", "event"])
+    @pytest.mark.parametrize("engine", ["process", "batch", "event", "sparse"])
     def test_accepts_every_seam_engine(self, engine):
         assert e2(engine=engine).engine == engine
 
