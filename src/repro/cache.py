@@ -21,9 +21,13 @@ Design rules:
   cache directory and published with ``os.replace``, so a concurrent
   reader sees either the old entry or the new one, never a torn write,
   and two processes racing on one key both leave a valid entry behind.
-* **Corruption is a miss.**  A truncated, malformed, or foreign-schema
-  entry is treated as a cache miss (and recounted in ``stats``); the
-  next ``put`` rewrites it.  ``prune()`` deletes such entries eagerly.
+* **Corruption is a miss — quarantined.**  A truncated or malformed
+  entry is treated as a cache miss (recounted in ``stats``) and
+  renamed aside to ``<name>.corrupt``: the evidence survives for
+  post-mortems, re-parsing stops, and the next ``put`` publishes a
+  clean entry.  Foreign-schema entries are plain misses (stale, not
+  corrupt).  ``prune()`` deletes stale entries and collects the
+  quarantined files.
 * **Versioned schema.**  Every entry records
   :data:`CACHE_SCHEMA_VERSION`; bumping it invalidates the whole store
   without needing a migration.
@@ -42,6 +46,7 @@ from typing import Any
 
 from repro.errors import CacheError
 from repro.experiments.results import ExperimentResult
+from repro.testing.faults import should_inject
 
 #: Version of the on-disk entry layout.  Entries recording any other
 #: version are ignored (miss) and removed by ``prune()``.
@@ -219,6 +224,10 @@ class ResultCache:
             except OSError:
                 pass
             raise
+        if should_inject("cache_corrupt", token=path.name):
+            # Chaos harness: tear the just-published entry, exactly as
+            # a crash midway through a non-atomic rewrite would.
+            path.write_text(payload[: max(1, len(payload) // 3)])
         self.stats.writes += 1
         return path
 
@@ -234,10 +243,12 @@ class ResultCache:
         return count, total
 
     def clear(self) -> int:
-        """Delete every entry (and stray temp file); returns the count removed."""
+        """Delete every entry (plus quarantined and stray temp files)."""
         removed = 0
-        for path in list(self.directory.glob("*.json")) + list(
-            self.directory.glob(".tmp-*")
+        for path in (
+            list(self.directory.glob("*.json"))
+            + list(self.directory.glob("*.corrupt"))
+            + list(self.directory.glob(".tmp-*"))
         ):
             try:
                 path.unlink()
@@ -251,19 +262,27 @@ class ResultCache:
 
         Valid current-schema entries are kept, so ``prune`` after a
         schema bump (or after a crash left torn files behind) shrinks
-        the store to exactly the reusable entries.  Temp files are only
-        removed once stale (see :data:`STALE_TMP_SECONDS`): a fresh one
-        belongs to a concurrent writer mid-publish, and deleting it
-        would break that writer's atomic rename.
+        the store to exactly the reusable entries.  Quarantined
+        ``*.corrupt`` files (including ones quarantined by the scan
+        itself) are collected and counted.  Temp files are only removed
+        once stale (see :data:`STALE_TMP_SECONDS`): a fresh one belongs
+        to a concurrent writer mid-publish, and deleting it would break
+        that writer's atomic rename.
         """
         removed = 0
         for path in self._entry_paths():
-            if self._read_entry(path) is None:
+            if self._read_entry(path) is None and path.exists():
                 try:
                     path.unlink()
                 except OSError:
                     continue
                 removed += 1
+        for quarantined in self.directory.glob("*.corrupt"):
+            try:
+                quarantined.unlink()
+            except OSError:
+                continue
+            removed += 1
         horizon = time.time() - STALE_TMP_SECONDS
         for stray in self.directory.glob(".tmp-*"):
             try:
@@ -295,16 +314,41 @@ class ResultCache:
         )
 
     def _read_entry(self, path: Path) -> dict[str, Any] | None:
-        """Parse and validate one entry file; ``None`` if unusable."""
+        """Parse and validate one entry file; ``None`` if unusable.
+
+        Unparseable bytes (a torn or bit-rotted write) are quarantined
+        on sight; entries that parse but record a foreign schema or a
+        malformed shape are merely stale and left for ``prune()``.
+        """
         try:
-            entry = json.loads(path.read_text())
-        except (OSError, ValueError):
+            text = path.read_text()
+        except OSError:
+            return None
+        try:
+            entry = json.loads(text)
+        except ValueError:
+            self._quarantine(path)
             return None
         if not isinstance(entry, dict) or entry.get("schema") != CACHE_SCHEMA_VERSION:
             return None
         if not isinstance(entry.get("key"), str) or "result" not in entry:
             return None
         return entry
+
+    def _quarantine(self, path: Path) -> None:
+        """Move unparseable bytes aside as ``<name>.corrupt``.
+
+        A corrupt entry would otherwise be re-read and re-parsed on
+        every subsequent miss until something rewrites it; renaming
+        preserves the evidence for post-mortems, stops the re-parsing,
+        and lets ``prune()`` collect it.  Best-effort and racy by
+        design: losing the race against a concurrent writer's fresh
+        ``os.replace`` just costs that writer's entry a recompute.
+        """
+        try:
+            os.replace(path, path.with_name(path.name + ".corrupt"))
+        except OSError:
+            pass
 
 
 def _coerce(value: Any):

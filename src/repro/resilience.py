@@ -1,0 +1,135 @@
+"""Retry policy for campaign entries: classification and backoff.
+
+Long campaigns mix heavy-tailed near-timeout entries with fast ones
+(the whp-tail regime of E11), and their worker pools live long enough
+to hit genuinely transient failures — an OOM-killed worker, a
+shared-memory attach race, a hung pool.  One transient failure must
+not poison a 10^4-entry manifest, so campaign entries run under a
+:class:`RetryPolicy`: transient failures are retried with exponential
+backoff, terminal failures surface immediately as error records.
+
+Two rules keep this deterministic and honest:
+
+* **Classification is by error type, not by guesswork.**
+  :func:`is_transient` treats OS-level failures (``OSError`` and
+  friends, ``MemoryError``), dead workers
+  (:class:`~repro.errors.WorkerCrashError`), and missed deadlines
+  (:class:`~repro.errors.EntryDeadlineError`) as transient; every
+  deliberate library error (:class:`~repro.errors.ReproError` —
+  validation, configuration, the dense-state memory guard, and
+  :class:`~repro.errors.ProcessTimeoutError` in particular) is
+  terminal, as are plain programming errors.  A retry can fix a flaky
+  environment; it cannot fix a wrong configuration or a simulation
+  that deterministically fails to converge.
+* **Backoff is seeded, not sampled.**  The jitter on each delay is a
+  pure hash of ``(seed, key, attempt)``, so two runs of the same
+  campaign back off identically and tests can assert exact delays.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.errors import (
+    EntryDeadlineError,
+    ParallelError,
+    ReproError,
+    WorkerCrashError,
+)
+
+#: Non-library error types retried as transient environment failures.
+#: ``OSError`` covers I/O hiccups, shared-memory attach failures, and
+#: the injected transient faults (which subclass it deliberately);
+#: ``MemoryError`` covers allocation pressure that a retry on a
+#: less-loaded pool may survive.
+_TRANSIENT_TYPES = (OSError, EOFError, MemoryError, ConnectionError)
+
+
+def is_transient(error: BaseException) -> bool:
+    """Whether a retry could plausibly change this failure's outcome."""
+    if isinstance(error, (EntryDeadlineError, WorkerCrashError)):
+        return True
+    if isinstance(error, ReproError):
+        return False
+    return isinstance(error, _TRANSIENT_TYPES)
+
+
+def _unit_hash(seed: int, key: str, attempt: int) -> float:
+    """A deterministic uniform draw in ``[0, 1)`` for one backoff delay."""
+    payload = f"{seed}|{key}|{attempt}".encode()
+    digest = hashlib.sha256(payload).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How campaign entries are retried after transient failures.
+
+    ``max_attempts`` counts every attempt including the first (so
+    ``max_attempts=1`` disables retries); the delay before attempt
+    ``k+1`` is ``base_delay * 2**(k-1)`` capped at ``max_delay``, then
+    stretched by up to ``jitter`` (a fraction) using a hash of
+    ``(seed, key, attempt)`` — deterministic per entry, decorrelated
+    across entries so a burst of failures does not retry in lockstep.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.5
+    max_delay: float = 30.0
+    jitter: float = 0.1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if isinstance(self.max_attempts, bool) or not isinstance(self.max_attempts, int):
+            raise ParallelError(
+                f"max_attempts must be an integer, got {self.max_attempts!r}"
+            )
+        if self.max_attempts < 1:
+            raise ParallelError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_delay < 0:
+            raise ParallelError(f"base_delay must be >= 0, got {self.base_delay}")
+        if self.max_delay < self.base_delay:
+            raise ParallelError(
+                f"max_delay {self.max_delay} must be >= base_delay {self.base_delay}"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ParallelError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def delay(self, key: str, attempt: int) -> float:
+        """Seconds to wait after failed attempt number ``attempt``."""
+        if attempt < 1:
+            raise ParallelError(f"attempt must be >= 1, got {attempt}")
+        base = min(self.max_delay, self.base_delay * 2 ** (attempt - 1))
+        return base * (1.0 + self.jitter * _unit_hash(self.seed, key, attempt))
+
+    def next_delay(
+        self, key: str, attempt: int, error: BaseException
+    ) -> float | None:
+        """Backoff before retrying, or ``None`` when the entry is done for.
+
+        ``None`` means either the error is terminal or the attempt
+        budget is spent; the caller should record the failure.
+        """
+        if attempt >= self.max_attempts or not is_transient(error):
+            return None
+        return self.delay(key, attempt)
+
+
+def resolve_retry(retry: "RetryPolicy | int | None") -> RetryPolicy | None:
+    """Normalise a ``retry=`` argument to a policy or ``None``.
+
+    ``None`` (and a policy with ``max_attempts=1``) means no retries;
+    an integer is shorthand for ``RetryPolicy(max_attempts=n)``.
+    """
+    if retry is None:
+        return None
+    if isinstance(retry, RetryPolicy):
+        return retry if retry.max_attempts > 1 else None
+    if isinstance(retry, bool) or not isinstance(retry, int):
+        raise ParallelError(
+            f"retry must be a RetryPolicy, an integer attempt budget, or None, "
+            f"got {type(retry).__name__}"
+        )
+    policy = RetryPolicy(max_attempts=retry)
+    return policy if policy.max_attempts > 1 else None

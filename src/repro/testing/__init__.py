@@ -1,0 +1,30 @@
+"""Test-support machinery shipped with the library.
+
+:mod:`repro.testing.faults` is the deterministic fault-injection
+harness used by the resilience test suite (and the CI ``chaos-smoke``
+job) to exercise worker crashes, hangs, cache corruption, and
+shared-memory attach failures on demand instead of trusting those
+paths on faith.
+"""
+
+from repro.testing.faults import (
+    FaultPlan,
+    FaultSpec,
+    InjectedFaultError,
+    InjectedTerminalError,
+    active_fault_plan,
+    fault_point,
+    inject_faults,
+    should_inject,
+)
+
+__all__ = [
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFaultError",
+    "InjectedTerminalError",
+    "active_fault_plan",
+    "fault_point",
+    "inject_faults",
+    "should_inject",
+]

@@ -1,0 +1,331 @@
+"""Deterministic fault injection for the resilience machinery.
+
+The campaign runtime promises to survive worker crashes, hung pools,
+cache corruption, and shared-memory attach races.  None of those
+failures occur naturally in CI, so this module plants seeded
+*injection points* at the places they would strike; tests (and the CI
+``chaos-smoke`` job) activate them through an environment variable and
+get the same failures on every run.
+
+Activation travels in the ``REPRO_FAULTS`` environment variable as a
+JSON fault plan, so spawn-started pool workers — which re-import the
+package and share nothing but the environment — see exactly the same
+plan as the parent.  :func:`inject_faults` is the context-manager
+front door::
+
+    with inject_faults({"site": "worker_fault", "max_attempt": 1}):
+        run_campaign(campaign, out, retry=RetryPolicy(max_attempts=3))
+
+Every firing decision is a pure function of ``(seed, site, token,
+attempt)`` — hashed, not drawn from shared RNG state — so it does not
+depend on worker count, scheduling order, or how many other sites
+fired first.  ``token`` is a stable identity supplied by the call site
+(campaign entries use their result-file stem), and ``attempt`` is the
+retry attempt number, which is what lets a plan say "fail the first
+two attempts of every entry, then succeed" (``max_attempt: 2``).
+
+Known sites
+-----------
+
+``worker_fault``
+    Raises :class:`InjectedFaultError` (an ``OSError`` — classified
+    transient by the retry policy) or, with ``"terminal": true``,
+    :class:`InjectedTerminalError` (an ``ExperimentError`` — terminal).
+``worker_crash``
+    Hard-kills the worker process with ``os._exit`` — no exception, no
+    cleanup, exactly like an OOM kill.  Outside a daemonic pool worker
+    it raises :class:`InjectedFaultError` instead: killing the test
+    process itself would take pytest down with it.
+``worker_hang``
+    Sleeps for ``duration`` seconds (default 3600) in a pool worker,
+    simulating a hung task for the deadline watchdog to reap.  Outside
+    a pool worker it raises :class:`InjectedFaultError` — an inline
+    hang could never be interrupted.
+``cache_corrupt``
+    Checked by :meth:`repro.cache.ResultCache.put` via
+    :func:`should_inject`; a firing makes the just-published entry a
+    truncated torn write.
+``shm_attach``
+    Raises ``OSError`` inside :meth:`repro.parallel.SharedGraph.graph`
+    on the worker-side attach, simulating a shared-memory attach race.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from repro.errors import ExperimentError, FaultSpecError
+
+#: Environment variable carrying the active fault plan as JSON.
+FAULTS_ENV_VAR = "REPRO_FAULTS"
+
+#: Sites an injection spec may target.
+KNOWN_SITES = frozenset(
+    {"worker_fault", "worker_crash", "worker_hang", "cache_corrupt", "shm_attach"}
+)
+
+#: Exit status used by ``worker_crash`` hard kills (chosen to be
+#: recognisable in pool post-mortems; the value itself is arbitrary).
+CRASH_EXIT_CODE = 70
+
+
+class InjectedFaultError(OSError):
+    """A deliberately injected *transient* failure.
+
+    Subclasses ``OSError`` so the retry policy's classification treats
+    it exactly like the OS-level failures it stands in for.
+    """
+
+
+class InjectedTerminalError(ExperimentError):
+    """A deliberately injected *terminal* failure (never retried)."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injection rule: where, how often, and for which tokens.
+
+    ``rate`` is the per-decision firing probability (1.0 = always);
+    ``match`` restricts firing to tokens containing the substring;
+    ``max_attempt`` restricts firing to attempt numbers at or below it
+    (the retry-then-succeed pattern); ``terminal`` makes
+    ``worker_fault`` raise a terminal error instead of a transient
+    one; ``duration`` is the ``worker_hang`` sleep in seconds.
+    """
+
+    site: str
+    rate: float = 1.0
+    match: str | None = None
+    max_attempt: int | None = None
+    terminal: bool = False
+    duration: float = 3600.0
+
+    def __post_init__(self) -> None:
+        if self.site not in KNOWN_SITES:
+            raise FaultSpecError(
+                f"unknown fault site {self.site!r}; known sites: "
+                f"{sorted(KNOWN_SITES)}"
+            )
+        if not 0.0 <= self.rate <= 1.0:
+            raise FaultSpecError(f"fault rate must be in [0, 1], got {self.rate!r}")
+        if self.max_attempt is not None and self.max_attempt < 1:
+            raise FaultSpecError(
+                f"fault max_attempt must be >= 1, got {self.max_attempt!r}"
+            )
+        if self.duration <= 0:
+            raise FaultSpecError(f"fault duration must be > 0, got {self.duration!r}")
+
+    def to_dict(self) -> dict[str, Any]:
+        data: dict[str, Any] = {"site": self.site}
+        if self.rate != 1.0:
+            data["rate"] = self.rate
+        if self.match is not None:
+            data["match"] = self.match
+        if self.max_attempt is not None:
+            data["max_attempt"] = self.max_attempt
+        if self.terminal:
+            data["terminal"] = True
+        if self.duration != 3600.0:
+            data["duration"] = self.duration
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "FaultSpec":
+        if not isinstance(data, dict):
+            raise FaultSpecError(
+                f"fault spec must be an object, got {type(data).__name__}"
+            )
+        unknown = sorted(
+            set(data) - {"site", "rate", "match", "max_attempt", "terminal", "duration"}
+        )
+        if unknown:
+            raise FaultSpecError(f"fault spec has unknown keys {unknown}")
+        site = data.get("site")
+        if not isinstance(site, str):
+            raise FaultSpecError(f"fault spec needs a string 'site', got {data!r}")
+        rate = data.get("rate", 1.0)
+        if isinstance(rate, bool) or not isinstance(rate, (int, float)):
+            raise FaultSpecError(f"fault rate must be a number, got {rate!r}")
+        match = data.get("match")
+        if match is not None and not isinstance(match, str):
+            raise FaultSpecError(f"fault match must be a string, got {match!r}")
+        max_attempt = data.get("max_attempt")
+        if max_attempt is not None and (
+            isinstance(max_attempt, bool) or not isinstance(max_attempt, int)
+        ):
+            raise FaultSpecError(
+                f"fault max_attempt must be an integer, got {max_attempt!r}"
+            )
+        terminal = data.get("terminal", False)
+        if not isinstance(terminal, bool):
+            raise FaultSpecError(f"fault terminal must be a boolean, got {terminal!r}")
+        duration = data.get("duration", 3600.0)
+        if isinstance(duration, bool) or not isinstance(duration, (int, float)):
+            raise FaultSpecError(f"fault duration must be a number, got {duration!r}")
+        return cls(
+            site=site,
+            rate=float(rate),
+            match=match,
+            max_attempt=max_attempt,
+            terminal=terminal,
+            duration=float(duration),
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seed plus the set of active injection rules."""
+
+    specs: tuple[FaultSpec, ...]
+    seed: int = 0
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {"seed": self.seed, "faults": [spec.to_dict() for spec in self.specs]},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            data = json.loads(text)
+        except ValueError as error:
+            raise FaultSpecError(f"malformed {FAULTS_ENV_VAR} JSON: {error}") from None
+        if isinstance(data, list):
+            data = {"faults": data}
+        if not isinstance(data, dict):
+            raise FaultSpecError(
+                f"{FAULTS_ENV_VAR} must be a fault list or plan object, "
+                f"got {type(data).__name__}"
+            )
+        seed = data.get("seed", 0)
+        if isinstance(seed, bool) or not isinstance(seed, int):
+            raise FaultSpecError(f"fault plan seed must be an integer, got {seed!r}")
+        faults = data.get("faults", [])
+        if not isinstance(faults, list):
+            raise FaultSpecError(
+                f"fault plan 'faults' must be a list, got {type(faults).__name__}"
+            )
+        return cls(
+            specs=tuple(FaultSpec.from_dict(spec) for spec in faults), seed=seed
+        )
+
+    def matching(self, site: str, token: str, attempt: int) -> FaultSpec | None:
+        """The first spec that fires for this decision, or ``None``.
+
+        The decision is a pure hash of ``(seed, site, token, attempt)``
+        — deterministic across processes, worker counts, and
+        evaluation order.
+        """
+        for spec in self.specs:
+            if spec.site != site:
+                continue
+            if spec.match is not None and spec.match not in token:
+                continue
+            if spec.max_attempt is not None and attempt > spec.max_attempt:
+                continue
+            if spec.rate < 1.0 and _unit_hash(self.seed, site, token, attempt) >= spec.rate:
+                continue
+            return spec
+        return None
+
+
+def _unit_hash(seed: int, site: str, token: str, attempt: int) -> float:
+    """A deterministic uniform draw in ``[0, 1)`` for one decision."""
+    payload = f"{seed}|{site}|{token}|{attempt}".encode()
+    digest = hashlib.sha256(payload).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+#: Parse cache: ``(raw env value, parsed plan)``.  ``os.environ`` is
+#: the source of truth (spawn workers inherit it); parsing is cached on
+#: the raw string so a hot injection point costs one dict lookup.
+_plan_cache: tuple[str, FaultPlan] | None = None
+
+
+def active_fault_plan() -> FaultPlan | None:
+    """The plan from ``REPRO_FAULTS``, or ``None`` when inactive."""
+    global _plan_cache
+    raw = os.environ.get(FAULTS_ENV_VAR)
+    if not raw:
+        return None
+    if _plan_cache is None or _plan_cache[0] != raw:
+        _plan_cache = (raw, FaultPlan.from_json(raw))
+    return _plan_cache[1]
+
+
+def should_inject(site: str, token: str = "", attempt: int = 1) -> bool:
+    """Whether a call-site-implemented fault (e.g. cache corruption) fires."""
+    plan = active_fault_plan()
+    if plan is None:
+        return False
+    return plan.matching(site, token, attempt) is not None
+
+
+def _in_pool_worker() -> bool:
+    """Whether this process is a daemonic pool worker (safe to kill)."""
+    return multiprocessing.current_process().daemon
+
+
+def fault_point(site: str, token: str = "", attempt: int = 1) -> None:
+    """Enact the fault for ``site`` if the active plan says it fires.
+
+    No-op (one environment lookup) when no plan is active.  Raising
+    sites raise; ``worker_crash`` hard-exits a pool worker;
+    ``worker_hang`` sleeps a pool worker.  Crash and hang degrade to a
+    transient raise outside pool workers, where killing or hanging the
+    process would take the caller's whole test run down.
+    """
+    plan = active_fault_plan()
+    if plan is None:
+        return
+    spec = plan.matching(site, token, attempt)
+    if spec is None:
+        return
+    detail = f"site={site} token={token!r} attempt={attempt}"
+    if site == "worker_crash" and _in_pool_worker():
+        os._exit(CRASH_EXIT_CODE)
+    if site == "worker_hang" and _in_pool_worker():
+        # Sleep in slices so pool.terminate()'s SIGTERM lands promptly.
+        end = time.monotonic() + spec.duration
+        while time.monotonic() < end:
+            time.sleep(min(0.1, max(0.0, end - time.monotonic())))
+        raise InjectedFaultError(f"injected hang elapsed uninterrupted ({detail})")
+    if spec.terminal:
+        raise InjectedTerminalError(f"injected terminal fault ({detail})")
+    raise InjectedFaultError(f"injected transient fault ({detail})")
+
+
+@contextmanager
+def inject_faults(
+    *specs: FaultSpec | dict[str, Any], seed: int = 0
+) -> Iterator[FaultPlan]:
+    """Activate a fault plan for the scope (environment-propagated).
+
+    Accepts :class:`FaultSpec` objects or plain spec dicts.  The plan
+    is installed in ``os.environ[REPRO_FAULTS]`` so pools started
+    inside the scope carry it to their workers regardless of start
+    method; the previous value is restored on exit.
+    """
+    resolved = tuple(
+        spec if isinstance(spec, FaultSpec) else FaultSpec.from_dict(spec)
+        for spec in specs
+    )
+    plan = FaultPlan(specs=resolved, seed=seed)
+    previous = os.environ.get(FAULTS_ENV_VAR)
+    os.environ[FAULTS_ENV_VAR] = plan.to_json()
+    try:
+        yield plan
+    finally:
+        if previous is None:
+            os.environ.pop(FAULTS_ENV_VAR, None)
+        else:
+            os.environ[FAULTS_ENV_VAR] = previous

@@ -1,0 +1,151 @@
+"""Tests for the deterministic fault-injection harness."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.errors import FaultSpecError
+from repro.testing.faults import (
+    FAULTS_ENV_VAR,
+    FaultPlan,
+    FaultSpec,
+    InjectedFaultError,
+    InjectedTerminalError,
+    active_fault_plan,
+    fault_point,
+    inject_faults,
+    should_inject,
+)
+
+
+class TestFaultSpec:
+    def test_defaults_and_roundtrip(self):
+        spec = FaultSpec(site="worker_fault")
+        assert spec.rate == 1.0
+        assert spec.to_dict() == {"site": "worker_fault"}
+        assert FaultSpec.from_dict(spec.to_dict()) == spec
+
+    def test_full_roundtrip(self):
+        spec = FaultSpec(
+            site="worker_hang", rate=0.5, match="s1", max_attempt=2,
+            terminal=True, duration=9.0,
+        )
+        assert FaultSpec.from_dict(spec.to_dict()) == spec
+
+    def test_unknown_site_rejected(self):
+        with pytest.raises(FaultSpecError, match="unknown fault site"):
+            FaultSpec(site="meteor_strike")
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(FaultSpecError, match="rate"):
+            FaultSpec(site="worker_fault", rate=1.5)
+
+    def test_bad_max_attempt_rejected(self):
+        with pytest.raises(FaultSpecError, match="max_attempt"):
+            FaultSpec(site="worker_fault", max_attempt=0)
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(FaultSpecError, match="unknown keys"):
+            FaultSpec.from_dict({"site": "worker_fault", "Rate": 0.5})
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(FaultSpecError, match="must be an object"):
+            FaultSpec.from_dict(["worker_fault"])
+
+
+class TestFaultPlan:
+    def test_json_roundtrip(self):
+        plan = FaultPlan(
+            specs=(FaultSpec(site="worker_fault", max_attempt=1),), seed=7
+        )
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_bare_list_accepted(self):
+        plan = FaultPlan.from_json('[{"site": "cache_corrupt"}]')
+        assert plan.specs[0].site == "cache_corrupt"
+        assert plan.seed == 0
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(FaultSpecError, match="malformed"):
+            FaultPlan.from_json("{not json")
+
+    def test_matching_honours_match_and_max_attempt(self):
+        plan = FaultPlan(
+            specs=(FaultSpec(site="worker_fault", match="s1", max_attempt=2),)
+        )
+        assert plan.matching("worker_fault", "e5_quick_s1", 1) is not None
+        assert plan.matching("worker_fault", "e5_quick_s1", 2) is not None
+        assert plan.matching("worker_fault", "e5_quick_s1", 3) is None
+        assert plan.matching("worker_fault", "e5_quick_s0", 1) is None
+        assert plan.matching("cache_corrupt", "e5_quick_s1", 1) is None
+
+    def test_rate_decisions_are_pure_hashes(self):
+        # The same (seed, site, token, attempt) always decides the same
+        # way, and roughly `rate` of many tokens fire.
+        plan = FaultPlan(specs=(FaultSpec(site="worker_fault", rate=0.5),), seed=3)
+        first = [plan.matching("worker_fault", f"t{i}", 1) is not None for i in range(200)]
+        second = [plan.matching("worker_fault", f"t{i}", 1) is not None for i in range(200)]
+        assert first == second
+        assert 60 < sum(first) < 140
+
+
+class TestActivation:
+    def test_inactive_without_env(self, monkeypatch):
+        monkeypatch.delenv(FAULTS_ENV_VAR, raising=False)
+        assert active_fault_plan() is None
+        assert should_inject("worker_fault", "x") is False
+        fault_point("worker_fault", "x")  # no-op
+
+    def test_inject_faults_sets_and_restores_env(self, monkeypatch):
+        monkeypatch.delenv(FAULTS_ENV_VAR, raising=False)
+        with inject_faults({"site": "cache_corrupt"}, seed=5) as plan:
+            assert plan.seed == 5
+            raw = os.environ[FAULTS_ENV_VAR]
+            assert json.loads(raw)["seed"] == 5
+            assert should_inject("cache_corrupt", "anything")
+        assert FAULTS_ENV_VAR not in os.environ
+        assert should_inject("cache_corrupt", "anything") is False
+
+    def test_env_var_alone_activates(self, monkeypatch):
+        # Spawn workers share nothing but the environment; the plan must
+        # come alive from the raw variable with no other setup.
+        plan = FaultPlan(specs=(FaultSpec(site="worker_fault"),), seed=1)
+        monkeypatch.setenv(FAULTS_ENV_VAR, plan.to_json())
+        assert active_fault_plan() == plan
+        assert should_inject("worker_fault", "t")
+
+    def test_fault_point_raises_transient(self, monkeypatch):
+        monkeypatch.delenv(FAULTS_ENV_VAR, raising=False)
+        with inject_faults({"site": "worker_fault"}):
+            with pytest.raises(InjectedFaultError, match="injected transient"):
+                fault_point("worker_fault", "t", 1)
+
+    def test_fault_point_raises_terminal(self, monkeypatch):
+        monkeypatch.delenv(FAULTS_ENV_VAR, raising=False)
+        with inject_faults({"site": "worker_fault", "terminal": True}):
+            with pytest.raises(InjectedTerminalError, match="injected terminal"):
+                fault_point("worker_fault", "t", 1)
+
+    def test_crash_and_hang_degrade_outside_pool_workers(self, monkeypatch):
+        # os._exit / a one-hour sleep in the test process itself would
+        # take pytest down; outside a daemonic pool worker both degrade
+        # to a transient raise.
+        monkeypatch.delenv(FAULTS_ENV_VAR, raising=False)
+        with inject_faults({"site": "worker_crash"}):
+            with pytest.raises(InjectedFaultError):
+                fault_point("worker_crash", "t", 1)
+        with inject_faults({"site": "worker_hang"}):
+            with pytest.raises(InjectedFaultError):
+                fault_point("worker_hang", "t", 1)
+
+    def test_max_attempt_lets_retries_through(self, monkeypatch):
+        monkeypatch.delenv(FAULTS_ENV_VAR, raising=False)
+        with inject_faults({"site": "worker_fault", "max_attempt": 2}):
+            with pytest.raises(InjectedFaultError):
+                fault_point("worker_fault", "t", 1)
+            with pytest.raises(InjectedFaultError):
+                fault_point("worker_fault", "t", 2)
+            fault_point("worker_fault", "t", 3)  # attempt 3 sails through

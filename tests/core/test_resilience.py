@@ -1,0 +1,102 @@
+"""Tests for the retry policy: classification and deterministic backoff."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    EntryDeadlineError,
+    ExperimentError,
+    ParallelError,
+    ProcessTimeoutError,
+    WorkerCrashError,
+)
+from repro.resilience import RetryPolicy, is_transient, resolve_retry
+from repro.testing.faults import InjectedFaultError, InjectedTerminalError
+
+
+class TestIsTransient:
+    def test_os_level_failures_are_transient(self):
+        assert is_transient(OSError("disk hiccup"))
+        assert is_transient(EOFError())
+        assert is_transient(MemoryError())
+        assert is_transient(ConnectionError())
+        assert is_transient(InjectedFaultError("chaos"))
+
+    def test_parallel_casualties_are_transient(self):
+        # These subclass ReproError but describe environment deaths the
+        # retry machinery itself reported — they must win the race
+        # against the "library errors are terminal" rule.
+        assert is_transient(EntryDeadlineError("missed deadline"))
+        assert is_transient(WorkerCrashError("worker died"))
+
+    def test_library_errors_are_terminal(self):
+        assert not is_transient(ExperimentError("bad config"))
+        assert not is_transient(ProcessTimeoutError("did not converge"))
+        assert not is_transient(InjectedTerminalError("chaos"))
+
+    def test_programming_errors_are_terminal(self):
+        assert not is_transient(ValueError("bug"))
+        assert not is_transient(TypeError("bug"))
+
+
+class TestRetryPolicy:
+    def test_backoff_is_exponential_and_capped(self):
+        policy = RetryPolicy(max_attempts=6, base_delay=1.0, max_delay=4.0, jitter=0.0)
+        assert policy.delay("k", 1) == 1.0
+        assert policy.delay("k", 2) == 2.0
+        assert policy.delay("k", 3) == 4.0
+        assert policy.delay("k", 4) == 4.0  # capped
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        policy = RetryPolicy(base_delay=1.0, jitter=0.2, seed=9)
+        first = policy.delay("entry", 1)
+        assert first == policy.delay("entry", 1)
+        assert 1.0 <= first <= 1.2
+        # Different keys decorrelate; same key, different attempt too.
+        assert policy.delay("entry", 1) != policy.delay("other", 1)
+
+    def test_next_delay_classifies(self):
+        policy = RetryPolicy(max_attempts=3, base_delay=0.5, jitter=0.0)
+        assert policy.next_delay("k", 1, OSError()) == 0.5
+        assert policy.next_delay("k", 2, OSError()) == 1.0
+        assert policy.next_delay("k", 3, OSError()) is None  # budget spent
+        assert policy.next_delay("k", 1, ExperimentError("no")) is None  # terminal
+
+    def test_validation(self):
+        with pytest.raises(ParallelError, match="max_attempts"):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ParallelError, match="max_attempts"):
+            RetryPolicy(max_attempts=True)
+        with pytest.raises(ParallelError, match="base_delay"):
+            RetryPolicy(base_delay=-1.0)
+        with pytest.raises(ParallelError, match="max_delay"):
+            RetryPolicy(base_delay=5.0, max_delay=1.0)
+        with pytest.raises(ParallelError, match="jitter"):
+            RetryPolicy(jitter=2.0)
+        with pytest.raises(ParallelError, match="attempt"):
+            RetryPolicy().delay("k", 0)
+
+
+class TestResolveRetry:
+    def test_none_and_single_attempt_mean_no_retries(self):
+        assert resolve_retry(None) is None
+        assert resolve_retry(1) is None
+        assert resolve_retry(RetryPolicy(max_attempts=1)) is None
+
+    def test_integer_shorthand(self):
+        policy = resolve_retry(4)
+        assert isinstance(policy, RetryPolicy)
+        assert policy.max_attempts == 4
+
+    def test_policy_passes_through(self):
+        policy = RetryPolicy(max_attempts=2, base_delay=0.1)
+        assert resolve_retry(policy) is policy
+
+    def test_bad_values_rejected(self):
+        with pytest.raises(ParallelError, match="retry"):
+            resolve_retry("three")
+        with pytest.raises(ParallelError, match="retry"):
+            resolve_retry(True)
+        with pytest.raises(ParallelError, match="max_attempts"):
+            resolve_retry(0)

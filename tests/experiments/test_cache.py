@@ -183,6 +183,81 @@ class TestResultCache:
         cache.put("E0", "quick", 0, PARAMS, result)
         assert not list(tmp_path.glob(".tmp-*"))
 
+
+class TestQuarantine:
+    def test_corrupt_entry_quarantined_on_read(self, tmp_path, result):
+        cache = ResultCache(tmp_path)
+        path = cache.put("E0", "quick", 0, PARAMS, result)
+        path.write_text("{torn write")
+        assert cache.get("E0", "quick", 0, PARAMS) is None
+        assert not path.exists()
+        quarantined = path.with_name(path.name + ".corrupt")
+        assert quarantined.read_text() == "{torn write"  # evidence preserved
+
+    def test_quarantined_entry_invisible_to_size_and_get(self, tmp_path, result):
+        cache = ResultCache(tmp_path)
+        path = cache.put("E0", "quick", 0, PARAMS, result)
+        path.write_text("junk")
+        cache.get("E0", "quick", 0, PARAMS)
+        assert cache.size() == (0, 0)
+        # A second read is a plain miss, not a re-parse of the junk.
+        assert cache.get("E0", "quick", 0, PARAMS) is None
+        assert cache.stats.misses == 2
+
+    def test_put_after_quarantine_publishes_clean_entry(self, tmp_path, result):
+        cache = ResultCache(tmp_path)
+        path = cache.put("E0", "quick", 0, PARAMS, result)
+        path.write_text("junk")
+        cache.get("E0", "quick", 0, PARAMS)
+        cache.put("E0", "quick", 0, PARAMS, result)
+        assert cache.get("E0", "quick", 0, PARAMS) is not None
+
+    def test_prune_collects_quarantined_files(self, tmp_path, result):
+        cache = ResultCache(tmp_path)
+        path = cache.put("E0", "quick", 0, PARAMS, result)
+        path.write_text("junk")
+        cache.get("E0", "quick", 0, PARAMS)  # quarantines
+        assert cache.prune() == 1
+        assert not list(tmp_path.glob("*.corrupt"))
+
+    def test_clear_removes_quarantined_files(self, tmp_path, result):
+        cache = ResultCache(tmp_path)
+        path = cache.put("E0", "quick", 0, PARAMS, result)
+        path.write_text("junk")
+        cache.get("E0", "quick", 0, PARAMS)
+        cache.put("E0", "quick", 1, PARAMS, result)
+        assert cache.clear() == 2  # one live entry + one quarantined
+        assert cache.size() == (0, 0)
+
+    def test_stale_schema_entries_are_not_quarantined(self, tmp_path, result):
+        # A foreign-schema entry is valid JSON from another era — stale,
+        # not corrupt; prune() deletes it but get() leaves it in place.
+        cache = ResultCache(tmp_path)
+        path = cache.put("E0", "quick", 0, PARAMS, result)
+        entry = json.loads(path.read_text())
+        entry["schema"] = CACHE_SCHEMA_VERSION + 1
+        path.write_text(json.dumps(entry))
+        assert cache.get("E0", "quick", 0, PARAMS) is None
+        assert path.exists()
+        assert not list(tmp_path.glob("*.corrupt"))
+
+
+class TestCacheCorruptionFault:
+    def test_injected_corruption_tears_the_published_entry(self, tmp_path, result, monkeypatch):
+        from repro.testing.faults import inject_faults
+
+        monkeypatch.delenv("REPRO_FAULTS", raising=False)
+        cache = ResultCache(tmp_path)
+        with inject_faults({"site": "cache_corrupt"}):
+            path = cache.put("E0", "quick", 0, PARAMS, result)
+        # The entry is torn exactly as a crash mid-rewrite would leave
+        # it: a read quarantines it and degrades to a miss...
+        assert cache.get("E0", "quick", 0, PARAMS) is None
+        assert path.with_name(path.name + ".corrupt").exists()
+        # ...and the next (fault-free) put self-heals.
+        cache.put("E0", "quick", 0, PARAMS, result)
+        assert cache.get("E0", "quick", 0, PARAMS) is not None
+
     def test_cache_path_must_be_directory(self, tmp_path):
         blocker = tmp_path / "occupied"
         blocker.write_text("not a directory")

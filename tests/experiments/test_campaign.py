@@ -99,7 +99,7 @@ class TestCampaignDescription:
         seen = {}
         original = campaign_module._execute_entry
 
-        def spy(entry, directory, cache_dir=None):
+        def spy(entry, directory, cache_dir=None, attempt=1):
             seen["spec"] = backends.default_backend_spec()
             return {"ok": True}
 

@@ -1,0 +1,293 @@
+"""Retry, journal/resume, sharding, and fault-injection behaviour of campaigns.
+
+Everything here runs real (tiny) experiments — E5's quick preset costs
+a fraction of a second — and injects failures through the deterministic
+fault harness, so the behaviours hold under both fork and spawn start
+methods (fault plans travel in the environment, not in patched module
+state).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.campaign import (
+    Campaign,
+    CampaignEntry,
+    _campaign_fingerprint,
+    _journal_path,
+    _resolve_shard,
+    iter_campaign,
+    run_campaign,
+)
+from repro.resilience import RetryPolicy
+from repro.testing.faults import inject_faults
+
+#: A zero-backoff policy so retry tests spend no wall-clock sleeping.
+FAST_RETRY = RetryPolicy(max_attempts=3, base_delay=0.0, jitter=0.0)
+
+
+def _mini(n: int = 3) -> Campaign:
+    return Campaign(
+        name="resil", entries=[CampaignEntry("E5", seed=seed) for seed in range(n)]
+    )
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_faults(monkeypatch):
+    monkeypatch.delenv("REPRO_FAULTS", raising=False)
+
+
+class TestRetries:
+    def test_transient_fault_retried_to_success(self, tmp_path):
+        with inject_faults({"site": "worker_fault", "max_attempt": 2, "match": "s1"}):
+            manifest = run_campaign(
+                _mini(2), tmp_path, retry=FAST_RETRY
+            )
+        records = manifest["entries"]
+        assert [record["seed"] for record in records] == [0, 1]
+        assert "error" not in records[1]
+        assert records[0]["attempts"] == 1
+        assert records[1]["attempts"] == 3  # two injected failures, then success
+        assert records[1]["findings"]
+
+    def test_terminal_fault_fails_on_first_attempt(self, tmp_path):
+        with inject_faults({"site": "worker_fault", "terminal": True, "match": "s1"}):
+            manifest = run_campaign(_mini(2), tmp_path, retry=FAST_RETRY)
+        record = manifest["entries"][1]
+        assert record["error_type"] == "InjectedTerminalError"
+        assert record["error"].startswith("InjectedTerminalError:")
+        assert record["attempts"] == 1
+        assert record["terminal"] is True
+        assert "fault_point" in record["traceback"]
+        # Failed entries leave no result files behind.
+        assert not (tmp_path / "resil" / "e5_quick_s1.json").exists()
+
+    def test_exhausted_budget_records_nonterminal_error(self, tmp_path):
+        with inject_faults({"site": "worker_fault", "match": "s1"}):
+            manifest = run_campaign(_mini(2), tmp_path, retry=2)
+        record = manifest["entries"][1]
+        assert record["error_type"] == "InjectedFaultError"
+        assert record["attempts"] == 2
+        assert record["terminal"] is False
+
+    def test_retries_never_change_results(self, tmp_path):
+        plain = run_campaign(_mini(2), tmp_path / "plain")
+        with inject_faults({"site": "worker_fault", "max_attempt": 1}):
+            retried = run_campaign(_mini(2), tmp_path / "retried", retry=FAST_RETRY)
+
+        def essentials(manifest):
+            return [
+                {k: v for k, v in record.items() if k in ("seed", "findings")}
+                for record in manifest["entries"]
+            ]
+
+        assert essentials(plain) == essentials(retried)
+
+
+class TestFailFast:
+    def test_fail_fast_skips_unstarted_entries(self, tmp_path):
+        with inject_faults({"site": "worker_fault", "terminal": True, "match": "s1"}):
+            manifest = run_campaign(_mini(3), tmp_path, fail_fast=True)
+        records = manifest["entries"]
+        assert "error" not in records[0]
+        assert "error" in records[1]
+        assert records[2] == {**CampaignEntry("E5", seed=2).to_dict(), "skipped": True}
+
+    def test_fail_fast_streaming_yields_every_entry(self, tmp_path):
+        with inject_faults({"site": "worker_fault", "terminal": True, "match": "s1"}):
+            yielded = dict(
+                iter_campaign(_mini(3), tmp_path, fail_fast=True)
+            )
+        assert sorted(yielded) == [0, 1, 2]
+        assert yielded[2].get("skipped") is True
+
+
+class TestWorkerCrash:
+    def test_crash_mid_campaign_is_reaped_and_retried(self, tmp_path):
+        # A hard-killed pool worker never returns its result; only the
+        # entry deadline can detect it.  The crashed attempt costs one
+        # deadline window, then the retry succeeds on a fresh pool.
+        with inject_faults(
+            {"site": "worker_crash", "max_attempt": 1, "match": "s0"}
+        ):
+            manifest = run_campaign(
+                _mini(2),
+                tmp_path,
+                jobs=2,
+                retry=FAST_RETRY,
+                entry_deadline=8.0,
+            )
+        records = manifest["entries"]
+        assert "error" not in records[0]
+        assert records[0]["attempts"] == 2
+        assert records[0]["findings"]
+        assert "error" not in records[1]
+
+
+class TestCacheCorruption:
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_corrupted_cache_write_heals_on_next_campaign(self, tmp_path, jobs):
+        # A torn cache write (the classic write race / crash-mid-publish)
+        # must cost at most a recompute, never wrong numbers.  Works
+        # under fork and spawn alike: the fault plan travels in the
+        # environment and fires in whichever process runs the put.
+        campaign = _mini(2)
+        cache_dir = tmp_path / "cache"
+        with inject_faults({"site": "cache_corrupt", "match": "_s1_"}):
+            first = run_campaign(
+                campaign, tmp_path / "a", jobs=jobs, cache_dir=cache_dir
+            )
+        second = run_campaign(
+            campaign, tmp_path / "b", jobs=jobs, cache_dir=cache_dir
+        )
+        # Seed 0's entry was cached cleanly; seed 1's was torn, so the
+        # second campaign quarantined it and recomputed.
+        assert second["entries"][0]["cached"] is True
+        assert second["entries"][1]["cached"] is False
+        assert list((tmp_path / "cache").glob("*.corrupt"))
+        assert [r["findings"] for r in first["entries"]] == [
+            r["findings"] for r in second["entries"]
+        ]
+        # Third time around the healed entry serves a clean hit.
+        third = run_campaign(campaign, tmp_path / "c", jobs=jobs, cache_dir=cache_dir)
+        assert all(r["cached"] for r in third["entries"])
+
+
+class TestJournalAndResume:
+    def test_journal_records_every_completion(self, tmp_path):
+        campaign = _mini(2)
+        run_campaign(campaign, tmp_path)
+        journal = _journal_path(tmp_path / "resil", None)
+        lines = [json.loads(line) for line in journal.read_text().splitlines()]
+        assert lines[0]["fingerprint"] == _campaign_fingerprint(campaign)
+        assert sorted(line["index"] for line in lines[1:]) == [0, 1]
+
+    def test_resume_replays_completed_entries_verbatim(self, tmp_path):
+        campaign = _mini(3)
+        iterator = iter_campaign(campaign, tmp_path)
+        first_index, first_record = next(iterator)
+        iterator.close()  # crash: no manifest, journal holds entry 0
+        assert first_index == 0
+        assert not (tmp_path / "resil" / "manifest.json").exists()
+
+        manifest = run_campaign(campaign, tmp_path, resume=True)
+        records = manifest["entries"]
+        assert len(records) == 3
+        # The journaled record is replayed byte-for-byte — even its
+        # measured wall-clock seconds — proving no recompute happened.
+        assert records[0] == first_record
+        for record in records:
+            assert (tmp_path / "resil" / record["result_json"]).exists()
+
+    def test_resume_reruns_entries_with_missing_result_files(self, tmp_path):
+        campaign = _mini(2)
+        iterator = iter_campaign(campaign, tmp_path)
+        _, first_record = next(iterator)
+        iterator.close()
+        (tmp_path / "resil" / first_record["result_json"]).unlink()
+
+        manifest = run_campaign(campaign, tmp_path, resume=True)
+        assert (tmp_path / "resil" / first_record["result_json"]).exists()
+        assert all("error" not in record for record in manifest["entries"])
+
+    def test_resume_with_cache_goes_through_the_cache(self, tmp_path):
+        campaign = _mini(2)
+        cache_dir = tmp_path / "cache"
+        iterator = iter_campaign(campaign, tmp_path, cache_dir=cache_dir)
+        next(iterator)
+        iterator.close()
+
+        manifest = run_campaign(
+            campaign, tmp_path, cache_dir=cache_dir, resume=True
+        )
+        # The interrupted entry's computation is already in the cache,
+        # so the resumed run recomputes nothing for it.
+        assert manifest["entries"][0]["cached"] is True
+        assert manifest["entries"][0]["seconds"] == 0.0
+
+    def test_resume_replays_terminal_errors_without_rerunning(self, tmp_path):
+        campaign = _mini(2)
+        with inject_faults({"site": "worker_fault", "terminal": True, "match": "s1"}):
+            first = run_campaign(campaign, tmp_path)
+        # No faults active now: a rerun would succeed — but the terminal
+        # failure is deterministic in real life, so resume trusts it.
+        manifest = run_campaign(campaign, tmp_path, resume=True)
+        assert manifest["entries"][1] == first["entries"][1]
+
+    def test_resume_reruns_transient_exhausted_errors(self, tmp_path):
+        campaign = _mini(2)
+        with inject_faults({"site": "worker_fault", "match": "s1"}):
+            first = run_campaign(campaign, tmp_path, retry=2)
+        assert first["entries"][1]["terminal"] is False
+        manifest = run_campaign(campaign, tmp_path, resume=True)
+        assert "error" not in manifest["entries"][1]  # fresh budget, clean env
+
+    def test_fresh_run_clears_stale_journal(self, tmp_path):
+        campaign = _mini(2)
+        run_campaign(campaign, tmp_path)
+        run_campaign(campaign, tmp_path)  # fresh run, not resume
+        journal = _journal_path(tmp_path / "resil", None)
+        lines = journal.read_text().splitlines()
+        assert len(lines) == 3  # one header + one line per entry, no leftovers
+
+    def test_resume_rejects_a_different_campaigns_journal(self, tmp_path):
+        run_campaign(_mini(2), tmp_path)
+        other = Campaign(
+            name="resil", entries=[CampaignEntry("E5", seed=9)]
+        )
+        with pytest.raises(ExperimentError, match="different campaign"):
+            run_campaign(other, tmp_path, resume=True)
+
+
+class TestSharding:
+    def test_resolve_shard_forms(self):
+        assert _resolve_shard(None) is None
+        assert _resolve_shard("0/4") == (0, 4)
+        assert _resolve_shard("3/4") == (3, 4)
+        assert _resolve_shard((1, 2)) == (1, 2)
+
+    def test_resolve_shard_rejects_malformed(self):
+        for bad in ("x/y", "1", "1/2/3", "-1/2", "2/2", "0/0"):
+            with pytest.raises(ExperimentError, match="shard"):
+                _resolve_shard(bad)
+        with pytest.raises(ExperimentError, match="shard"):
+            _resolve_shard((True, 2))
+
+    def test_shards_partition_and_merge(self, tmp_path):
+        campaign = _mini(3)
+        cache_dir = tmp_path / "cache"
+        shard0 = run_campaign(
+            campaign, tmp_path, shard="0/2", cache_dir=cache_dir
+        )
+        shard1 = run_campaign(
+            campaign, tmp_path, shard="1/2", cache_dir=cache_dir
+        )
+        assert shard0["shard"] == "0/2"
+        assert [r["seed"] for r in shard0["entries"]] == [0, 2]
+        assert [r["seed"] for r in shard1["entries"]] == [1]
+        directory = tmp_path / "resil"
+        assert (directory / "manifest.shard0of2.json").exists()
+        assert (directory / "manifest.shard1of2.json").exists()
+        assert not (directory / "manifest.json").exists()
+
+        # The merge run resumes unsharded over the same directory: every
+        # entry is already in the shared cache, so it is pure assembly.
+        merged = run_campaign(
+            campaign, tmp_path, cache_dir=cache_dir, resume=True
+        )
+        assert [r["seed"] for r in merged["entries"]] == [0, 1, 2]
+        assert all(r["cached"] for r in merged["entries"])
+        assert (directory / "manifest.json").exists()
+
+    def test_sharded_fresh_run_keeps_peer_journals(self, tmp_path):
+        campaign = _mini(3)
+        run_campaign(campaign, tmp_path, shard="0/2")
+        run_campaign(campaign, tmp_path, shard="1/2")
+        directory = tmp_path / "resil"
+        # Shard 1 starting fresh must not clear shard 0's journal.
+        assert _journal_path(directory, (0, 2)).exists()
+        assert _journal_path(directory, (1, 2)).exists()

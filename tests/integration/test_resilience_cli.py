@@ -1,0 +1,216 @@
+"""CLI resilience surface: exit codes, retries, resume, shard — and the
+full SIGKILL-and-resume drill in a real subprocess."""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.cli import main
+from repro.testing.faults import inject_faults
+
+SRC_ROOT = Path(repro.__file__).resolve().parents[1]
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_faults(monkeypatch):
+    monkeypatch.delenv("REPRO_FAULTS", raising=False)
+
+
+def _campaign_file(tmp_path: Path, n: int = 2, name: str = "clidrill") -> Path:
+    path = tmp_path / "campaign.json"
+    path.write_text(
+        json.dumps(
+            {
+                "name": name,
+                "entries": [
+                    {"experiment_id": "E5", "mode": "quick", "seed": seed}
+                    for seed in range(n)
+                ],
+            }
+        )
+    )
+    return path
+
+
+class TestCampaignExitCodes:
+    def test_failed_entry_exits_3(self, tmp_path, capsys):
+        file = _campaign_file(tmp_path)
+        with inject_faults({"site": "worker_fault", "terminal": True, "match": "s1"}):
+            code = main(["campaign", str(file), "--out", str(tmp_path / "out")])
+        assert code == 3
+        assert "(1 failed)" in capsys.readouterr().out
+
+    def test_fail_fast_reports_skips_and_exits_3(self, tmp_path, capsys):
+        file = _campaign_file(tmp_path, n=3)
+        with inject_faults({"site": "worker_fault", "terminal": True, "match": "s1"}):
+            code = main(
+                [
+                    "campaign", str(file), "--out", str(tmp_path / "out"),
+                    "--fail-fast",
+                ]
+            )
+        assert code == 3
+        out = capsys.readouterr().out
+        assert "(1 failed)" in out
+        assert "(1 skipped)" in out
+
+    def test_stream_marks_errors_and_exits_3(self, tmp_path, capsys):
+        file = _campaign_file(tmp_path)
+        with inject_faults({"site": "worker_fault", "terminal": True, "match": "s1"}):
+            code = main(
+                ["campaign", str(file), "--out", str(tmp_path / "out"), "--stream"]
+            )
+        assert code == 3
+        assert "ERROR InjectedTerminalError" in capsys.readouterr().out
+
+    def test_retries_flag_heals_transient_faults(self, tmp_path, capsys):
+        file = _campaign_file(tmp_path)
+        with inject_faults({"site": "worker_fault", "max_attempt": 1}):
+            code = main(
+                [
+                    "campaign", str(file), "--out", str(tmp_path / "out"),
+                    "--retries", "3",
+                ]
+            )
+        assert code == 0
+        manifest = json.loads(
+            (tmp_path / "out" / "clidrill" / "manifest.json").read_text()
+        )
+        assert [record["attempts"] for record in manifest["entries"]] == [2, 2]
+
+    def test_clean_run_then_resume_exits_0(self, tmp_path, capsys):
+        file = _campaign_file(tmp_path)
+        out = tmp_path / "out"
+        assert main(["campaign", str(file), "--out", str(out)]) == 0
+        assert main(["campaign", str(file), "--out", str(out), "--resume"]) == 0
+
+    def test_bad_shard_exits_1(self, tmp_path, capsys):
+        file = _campaign_file(tmp_path)
+        code = main(
+            ["campaign", str(file), "--out", str(tmp_path / "out"), "--shard", "9/2"]
+        )
+        assert code == 1
+        assert "shard" in capsys.readouterr().err
+
+    def test_shard_writes_shard_manifest(self, tmp_path, capsys):
+        file = _campaign_file(tmp_path, n=3)
+        out = tmp_path / "out"
+        assert main(["campaign", str(file), "--out", str(out), "--shard", "1/2"]) == 0
+        manifest = json.loads(
+            (out / "clidrill" / "manifest.shard1of2.json").read_text()
+        )
+        assert manifest["shard"] == "1/2"
+        assert [record["seed"] for record in manifest["entries"]] == [1]
+
+
+class TestKillAndResume:
+    """SIGKILL a live campaign process, resume it, and prove the final
+    warm manifest is byte-identical to an uninterrupted run's."""
+
+    CAMPAIGN = {
+        "name": "killer",
+        "entries": [
+            # A fast first entry (journaled quickly) then two slower
+            # ones, so the kill reliably lands mid-campaign.
+            {"experiment_id": "E5", "mode": "quick", "seed": 0},
+            {
+                "experiment_id": "E4", "mode": "quick", "seed": 0,
+                "overrides": {"trials": 600, "exact_t_max": 3},
+            },
+            {
+                "experiment_id": "E4", "mode": "quick", "seed": 1,
+                "overrides": {"trials": 600, "exact_t_max": 3},
+            },
+        ],
+    }
+
+    def _cli(self, tmp_path: Path, *args: str) -> subprocess.CompletedProcess:
+        env = {**os.environ, "PYTHONPATH": str(SRC_ROOT)}
+        env.pop("REPRO_FAULTS", None)
+        return subprocess.run(
+            [sys.executable, "-m", "repro", *args],
+            cwd=tmp_path, env=env, capture_output=True, text=True, timeout=300,
+        )
+
+    def test_sigkill_then_resume_matches_uninterrupted_run(self, tmp_path):
+        file = tmp_path / "campaign.json"
+        file.write_text(json.dumps(self.CAMPAIGN))
+        base = [str(file), "--jobs", "1"]
+
+        # Uninterrupted reference: cold run, then a warm rerun whose
+        # manifest is fully cached and timing-free.
+        ref = self._cli(
+            tmp_path, "campaign", *base, "--out", "out_a", "--cache-dir", "cache_a"
+        )
+        assert ref.returncode == 0, ref.stderr
+        warm_a = self._cli(
+            tmp_path, "campaign", *base, "--out", "out_a", "--cache-dir", "cache_a"
+        )
+        assert warm_a.returncode == 0, warm_a.stderr
+        manifest_a = (tmp_path / "out_a" / "killer" / "manifest.json").read_bytes()
+
+        # Chaos run: SIGKILL the whole process group as soon as the
+        # journal shows the first completed entry.
+        env = {**os.environ, "PYTHONPATH": str(SRC_ROOT)}
+        env.pop("REPRO_FAULTS", None)
+        victim = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "campaign", *base,
+                "--out", "out_b", "--cache-dir", "cache_b",
+            ],
+            cwd=tmp_path, env=env, start_new_session=True,
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        )
+        journal = tmp_path / "out_b" / "killer" / "manifest.partial.jsonl"
+        deadline = time.monotonic() + 120
+        try:
+            while time.monotonic() < deadline:
+                if victim.poll() is not None:
+                    pytest.fail("campaign finished before it could be killed")
+                if journal.exists() and '"index"' in journal.read_text():
+                    break
+                time.sleep(0.02)
+            else:
+                pytest.fail("journal never recorded a completed entry")
+            os.killpg(victim.pid, signal.SIGKILL)
+        finally:
+            victim.wait(timeout=60)
+        assert not (tmp_path / "out_b" / "killer" / "manifest.json").exists()
+        completed = sum(
+            1 for line in journal.read_text().splitlines() if '"index"' in line
+        )
+        assert completed >= 1
+
+        # Resume finishes the campaign, recomputing only unfinished
+        # entries: everything journaled before the kill comes back as a
+        # pure cache hit.
+        resumed = self._cli(
+            tmp_path, "campaign", *base, "--resume",
+            "--out", "out_b", "--cache-dir", "cache_b",
+        )
+        assert resumed.returncode == 0, resumed.stderr
+        manifest = json.loads(
+            (tmp_path / "out_b" / "killer" / "manifest.json").read_text()
+        )
+        assert len(manifest["entries"]) == 3
+        assert all("error" not in record for record in manifest["entries"])
+        cached = [record["cached"] for record in manifest["entries"]]
+        assert all(cached[:completed])
+
+        # The warm rerun after resume is byte-identical to the warm
+        # rerun after the uninterrupted run: the crash left no trace.
+        warm_b = self._cli(
+            tmp_path, "campaign", *base, "--out", "out_b", "--cache-dir", "cache_b"
+        )
+        assert warm_b.returncode == 0, warm_b.stderr
+        manifest_b = (tmp_path / "out_b" / "killer" / "manifest.json").read_bytes()
+        assert manifest_b == manifest_a
