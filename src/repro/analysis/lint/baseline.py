@@ -1,0 +1,99 @@
+"""Baseline files: grandfathered findings, tracked until paid down.
+
+A baseline is a checked-in JSON list of findings that existed when a
+rule was introduced.  ``repro lint --baseline FILE`` subtracts those
+findings from the run (by location-independent identity, matched with
+multiplicity, so an edit that *adds* a second identical violation in
+the same file still fails), and reports baseline entries that no
+longer occur so the file can be shrunk.  ``--update-baseline``
+rewrites the file from the current findings.
+
+The goal state of this repository is an **empty** baseline: every rule
+shipped with its true violations fixed, so the file exists only as the
+adoption mechanism for future rules.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.lint.engine import Finding
+from repro.errors import ReproError
+
+#: Format marker; bumping invalidates (errors on) older baseline files.
+BASELINE_SCHEMA = 1
+
+
+def load_baseline(path: Path) -> list[Finding]:
+    """Findings recorded in a baseline file.
+
+    A missing file is an error (a typoed ``--baseline`` must not
+    silently lint against an empty baseline); malformed content raises
+    :class:`~repro.errors.ReproError` naming the problem.
+    """
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as error:
+        raise ReproError(f"cannot read lint baseline {path}: {error}") from None
+    except ValueError as error:
+        raise ReproError(f"lint baseline {path} is not valid JSON: {error}") from None
+    if not isinstance(data, dict) or "findings" not in data:
+        raise ReproError(
+            f"lint baseline {path} must be an object with a 'findings' list"
+        )
+    if data.get("schema") != BASELINE_SCHEMA:
+        raise ReproError(
+            f"lint baseline {path} has schema {data.get('schema')!r}; "
+            f"this build reads schema {BASELINE_SCHEMA} — regenerate with "
+            f"--update-baseline"
+        )
+    findings = data["findings"]
+    if not isinstance(findings, list):
+        raise ReproError(f"lint baseline {path}: 'findings' must be a list")
+    try:
+        return [Finding.from_dict(entry) for entry in findings]
+    except (KeyError, TypeError, ValueError) as error:
+        raise ReproError(f"lint baseline {path} has a malformed entry: {error}") from None
+
+
+def save_baseline(path: Path, findings: Sequence[Finding]) -> None:
+    """Write ``findings`` as the new baseline (sorted, stable output)."""
+    ordered = sorted(findings, key=lambda f: (f.path, f.rule, f.line, f.message))
+    payload = {
+        "schema": BASELINE_SCHEMA,
+        "findings": [finding.to_dict() for finding in ordered],
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def split_against_baseline(
+    findings: Sequence[Finding], baseline: Sequence[Finding]
+) -> tuple[list[Finding], list[Finding], list[Finding]]:
+    """Partition a run's findings against a baseline.
+
+    Returns ``(new, grandfathered, stale)``: findings not covered by
+    the baseline, findings the baseline absorbs, and baseline entries
+    that no longer occur (candidates for deletion).  Identities match
+    with multiplicity: a baseline entry absorbs at most one finding.
+    """
+    budget = Counter(entry.identity() for entry in baseline)
+    new: list[Finding] = []
+    grandfathered: list[Finding] = []
+    for finding in findings:
+        key = finding.identity()
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            grandfathered.append(finding)
+        else:
+            new.append(finding)
+    stale: list[Finding] = []
+    remaining = Counter(budget)
+    for entry in baseline:
+        key = entry.identity()
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            stale.append(entry)
+    return new, grandfathered, stale

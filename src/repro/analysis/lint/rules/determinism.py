@@ -1,0 +1,149 @@
+"""``determinism``: no ordering or wall-clock nondeterminism in repro.
+
+Two hazard families, both scoped to the library tree (``src/repro``):
+
+* **Unordered iteration.**  ``set``/``frozenset`` iteration order
+  varies with hash seeding across processes, and ``os.listdir`` /
+  ``Path.glob`` / ``iterdir`` order varies with the filesystem.  Any
+  of them feeding a loop makes manifests, caches, or sampled streams
+  host-dependent; wrap the iterable in ``sorted(...)``.  Iterables
+  consumed by an order-insensitive reduction (``sorted``, ``sum``,
+  ``any``, ``min``, ...) — including through a comprehension directly
+  inside one — are exempt: the enumeration order cannot escape.
+* **Wall-clock reads.**  ``time.time()`` and ``datetime.now()`` values
+  leaking into results or cache keys make identical runs differ.
+  Durations belong to ``time.perf_counter()``/``time.monotonic()``,
+  which the rule deliberately allows.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, Iterator
+
+from repro.analysis.lint.engine import FileContext, Finding, Rule
+
+#: Methods returning filesystem-enumeration-ordered iterables.
+_FS_METHODS = frozenset({"glob", "rglob", "iterdir"})
+
+#: Functions returning filesystem-enumeration-ordered iterables.
+_FS_FUNCTIONS = frozenset({"os.listdir", "os.scandir"})
+
+#: Wall-clock reads whose values must not feed result or key paths.
+_WALL_CLOCK = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: Builtins whose result is independent of their argument's order, so
+#: an unordered iterable flowing straight into one is harmless.
+_ORDER_INSENSITIVE = frozenset(
+    {"sorted", "sum", "len", "any", "all", "min", "max", "set", "frozenset"}
+)
+
+
+def _blessed_nodes(tree: ast.AST) -> set[int]:
+    """``id()``s of iterable expressions consumed order-insensitively.
+
+    ``sorted(path.glob(...))`` blesses the ``.glob`` call itself;
+    ``sorted(f(p) for p in path.glob(...))`` blesses the generator's
+    ``iter`` — the comprehension is evaluated *inside* the reduction,
+    so its enumeration order never escapes either.
+    """
+    blessed: set[int] = set()
+    for node in ast.walk(tree):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in _ORDER_INSENSITIVE
+            and node.args
+        ):
+            continue
+        argument = node.args[0]
+        blessed.add(id(argument))
+        if isinstance(argument, (ast.GeneratorExp, ast.ListComp, ast.SetComp)):
+            for generator in argument.generators:
+                blessed.add(id(generator.iter))
+    return blessed
+
+
+class DeterminismRule(Rule):
+    id = "determinism"
+    title = "no unordered iteration or wall-clock reads in the library"
+    hint = "wrap the iterable in sorted(...); use perf_counter/monotonic for durations"
+    NODE_TYPES: ClassVar[tuple[type, ...]] = (ast.Call,)
+
+    def applies(self, ctx: FileContext) -> bool:
+        return ctx.in_library
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        assert isinstance(node, ast.Call)
+        resolved = ctx.resolve(node.func)
+        if resolved in _WALL_CLOCK:
+            yield self.finding(
+                ctx,
+                node,
+                f"wall-clock read {resolved}(): two identical runs observe "
+                "different values",
+                hint=(
+                    "use time.perf_counter()/time.monotonic() for durations; "
+                    "keep wall-clock values out of results and cache keys"
+                ),
+            )
+
+    def check_module(self, ctx: FileContext) -> Iterator[Finding]:
+        blessed = _blessed_nodes(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            iterables: list[ast.AST] = []
+            if isinstance(node, ast.For):
+                iterables.append(node.iter)
+            elif isinstance(node, (ast.GeneratorExp, ast.ListComp, ast.SetComp, ast.DictComp)):
+                iterables.extend(generator.iter for generator in node.generators)
+            for iterable in iterables:
+                if id(iterable) not in blessed:
+                    yield from self._check_iterable(iterable, ctx)
+
+    def _check_iterable(self, iterable: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        if isinstance(iterable, (ast.Set, ast.SetComp)):
+            yield self.finding(
+                ctx,
+                iterable,
+                "iteration over a set literal: order varies with hash seeding",
+                hint="iterate sorted(...) so the order is value-determined",
+            )
+            return
+        if not isinstance(iterable, ast.Call):
+            return
+        func = iterable.func
+        if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+            yield self.finding(
+                ctx,
+                iterable,
+                f"iteration over {func.id}(...): order varies with hash seeding",
+                hint="iterate sorted(...) so the order is value-determined",
+            )
+            return
+        resolved = ctx.resolve(func)
+        if resolved in _FS_FUNCTIONS:
+            yield self.finding(
+                ctx,
+                iterable,
+                f"iteration over {resolved}(): order follows filesystem "
+                "enumeration, which differs across hosts",
+                hint="iterate sorted(...) so the order is path-determined",
+            )
+            return
+        if isinstance(func, ast.Attribute) and func.attr in _FS_METHODS:
+            yield self.finding(
+                ctx,
+                iterable,
+                f"iteration over .{func.attr}(...): order follows filesystem "
+                "enumeration, which differs across hosts",
+                hint="iterate sorted(...) so the order is path-determined",
+            )

@@ -1,0 +1,111 @@
+"""``rng-discipline``: every stochastic call is seedable and seeded.
+
+The reproduction's numbers are only claims because every RNG stream
+derives from one master seed through ``SeedSequence.spawn``
+(:mod:`repro._rng`).  Three spellings silently break that:
+
+* legacy module-level NumPy randomness (``np.random.seed``,
+  ``np.random.rand``, ...) — hidden global state, shared across every
+  caller in the process;
+* the stdlib :mod:`random` module — same global-state problem, and a
+  different bit stream from the NumPy generators the kernels use;
+* ``default_rng()`` with no seed (or an explicit ``None``) — fresh OS
+  entropy per call, unreproducible by construction.
+
+``src/repro/_rng.py`` is the one module allowed to construct
+generators from possibly-``None`` seeds: that is its documented job.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, Iterator
+
+from repro.analysis.lint.engine import FileContext, Finding, Rule
+
+#: ``numpy.random`` attributes that are legitimate to *call*: generator
+#: construction, not draws from the hidden global stream.
+_ALLOWED_NP_RANDOM_CALLS = frozenset({"default_rng"})
+
+#: The module whose job is turning possibly-unseeded values into
+#: generators (the documented OS-entropy entry point).
+_RNG_MODULE_BASENAME = "_rng.py"
+
+
+class RngDisciplineRule(Rule):
+    id = "rng-discipline"
+    title = "randomness must flow through seeded NumPy generators"
+    hint = (
+        "derive a generator from the run's seed via repro._rng "
+        "(ensure_generator / spawn_generators) instead"
+    )
+    NODE_TYPES: ClassVar[tuple[type, ...]] = (ast.Call, ast.Import, ast.ImportFrom)
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "random" or alias.name.startswith("random."):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "stdlib 'random' imported: its global state is unseedable "
+                        "per-run and its stream differs from the NumPy generators",
+                    )
+            return
+        if isinstance(node, ast.ImportFrom):
+            if node.level == 0 and node.module == "random":
+                yield self.finding(
+                    ctx,
+                    node,
+                    "stdlib 'random' imported: its global state is unseedable "
+                    "per-run and its stream differs from the NumPy generators",
+                )
+            return
+        assert isinstance(node, ast.Call)
+        resolved = ctx.resolve(node.func)
+        if resolved is None:
+            return
+        yield from self._check_call(node, resolved, ctx)
+
+    def _check_call(
+        self, node: ast.Call, resolved: str, ctx: FileContext
+    ) -> Iterator[Finding]:
+        parts = resolved.split(".")
+        # numpy.random.<lowercase sampler>(...) — the legacy global stream.
+        if (
+            len(parts) >= 3
+            and parts[0] == "numpy"
+            and parts[1] == "random"
+            and parts[2][:1].islower()
+            and parts[2] not in _ALLOWED_NP_RANDOM_CALLS
+        ):
+            yield self.finding(
+                ctx,
+                node,
+                f"legacy global-state numpy randomness: np.random.{parts[2]}() "
+                "draws from (or reseeds) hidden process-wide state",
+            )
+            return
+        # stdlib random.<fn>(...) call sites (the import is also flagged).
+        if parts[0] == "random" and len(parts) == 2:
+            yield self.finding(
+                ctx,
+                node,
+                f"stdlib randomness random.{parts[1]}() bypasses the seeded "
+                "NumPy generator streams",
+            )
+            return
+        if resolved == "numpy.random.default_rng":
+            if ctx.basename == _RNG_MODULE_BASENAME:
+                return
+            unseeded = not node.args and not node.keywords
+            if not unseeded and node.args:
+                first = node.args[0]
+                unseeded = isinstance(first, ast.Constant) and first.value is None
+            if unseeded:
+                yield self.finding(
+                    ctx,
+                    node,
+                    "default_rng() without a seed draws fresh OS entropy: "
+                    "the run cannot be reproduced",
+                )

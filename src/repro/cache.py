@@ -176,7 +176,9 @@ class ResultCache:
             return None
         try:
             result = ExperimentResult.from_json_dict(entry["result"])
-        except Exception:
+        except (KeyError, TypeError, ValueError):
+            # Schema drift in a cached payload is a miss, not an error:
+            # the entry is simply recomputed and overwritten.
             self.stats.misses += 1
             return None
         self.stats.hits += 1
@@ -277,14 +279,17 @@ class ResultCache:
                 except OSError:
                     continue
                 removed += 1
-        for quarantined in self.directory.glob("*.corrupt"):
+        for quarantined in sorted(self.directory.glob("*.corrupt")):
             try:
                 quarantined.unlink()
             except OSError:
                 continue
             removed += 1
+        # The GC horizon is compared against file mtimes (same clock
+        # domain); the value never reaches a result or cache key.
+        # repro: ignore[determinism] -- wall clock vs file mtimes only
         horizon = time.time() - STALE_TMP_SECONDS
-        for stray in self.directory.glob(".tmp-*"):
+        for stray in sorted(self.directory.glob(".tmp-*")):
             try:
                 if stray.stat().st_mtime >= horizon:
                     continue

@@ -20,10 +20,13 @@ Usage (installed as ``cobra-repro`` or via ``python -m repro``)::
     cobra-repro campaign c.json --resume  # continue after a crash
     cobra-repro campaign c.json --shard 0/4 --cache-dir shared/   # 1 of 4 hosts
     cobra-repro cache stats               # inspect the result cache
+    cobra-repro lint src tests            # static invariant checks
+    cobra-repro lint --format json        # ... machine-readable findings
 
 A campaign run exits 3 when any entry failed or was skipped
 (``--fail-fast``), so schedulers can tell "ran but incomplete" from
-usage errors (exit 1).
+usage errors (exit 1).  ``lint`` exits 2 when findings remain, again
+distinct from usage errors.
 
 ``--jobs`` never changes results: replica seeding is sharded
 seed-stably (see :mod:`repro.parallel`), so any worker count produces
@@ -254,6 +257,52 @@ def build_parser() -> argparse.ArgumentParser:
     _add_jobs_option(campaign)
     _add_cache_options(campaign)
 
+    lint = subparsers.add_parser(
+        "lint",
+        help="static invariant checks: determinism, cache identity, backend purity",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tests", "benchmarks", "examples"],
+        help="files or directories to check (default: the whole repository)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        dest="output_format",
+        help="finding output format (json is the CI artifact form)",
+    )
+    lint.add_argument(
+        "--baseline",
+        type=Path,
+        nargs="?",
+        const=Path("repro-lint-baseline.json"),
+        default=None,
+        metavar="FILE",
+        help=(
+            "subtract grandfathered findings recorded in FILE "
+            "(default repro-lint-baseline.json when given bare)"
+        ),
+    )
+    lint.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline file from the current findings and exit 0",
+    )
+    lint.add_argument(
+        "--rules",
+        default=None,
+        metavar="IDS",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules and exit",
+    )
+
     cache = subparsers.add_parser(
         "cache", help="inspect or maintain the result cache"
     )
@@ -479,6 +528,74 @@ def _campaign(
     # Exit 3 — distinct from usage errors (1) — when the campaign ran
     # but is incomplete, so schedulers and CI can retry or alert.
     return 3 if errors or skipped else 0
+
+
+def _lint(args: "argparse.Namespace") -> int:
+    """Run the static invariant checker; returns the process exit code.
+
+    Exit codes: 0 clean, 1 usage error (bad rule id, unreadable
+    baseline), 2 findings remain — distinct so CI can tell "violations
+    found" from "lint misconfigured".
+    """
+    import json
+
+    from repro.analysis.lint import (
+        lint_paths,
+        load_baseline,
+        rules_by_id,
+        save_baseline,
+        split_against_baseline,
+    )
+
+    registry = rules_by_id()
+    if args.list_rules:
+        for rule_id, rule in registry.items():
+            print(f"{rule_id:>16}  {rule.title}")
+        return 0
+    rules = None
+    if args.rules is not None:
+        selected = [token.strip() for token in args.rules.split(",") if token.strip()]
+        unknown = sorted(set(selected) - set(registry))
+        if unknown:
+            raise ReproError(
+                f"--rules: unknown rule id(s) {', '.join(unknown)}; "
+                f"known: {', '.join(registry)}"
+            )
+        if not selected:
+            raise ReproError("--rules needs at least one rule id")
+        rules = [registry[rule_id] for rule_id in selected]
+    if args.update_baseline and args.baseline is None:
+        raise ReproError("--update-baseline needs --baseline [FILE]")
+
+    report = lint_paths(args.paths, rules=rules)
+    findings = list(report.findings)
+    stale = []
+    if args.baseline is not None and args.update_baseline:
+        save_baseline(args.baseline, findings)
+        print(f"baseline {args.baseline}: recorded {len(findings)} finding(s)")
+        return 0
+    if args.baseline is not None:
+        baseline = load_baseline(args.baseline)
+        findings, _grandfathered, stale = split_against_baseline(findings, baseline)
+
+    if args.output_format == "json":
+        payload = {
+            "files_checked": report.files_checked,
+            "findings": [finding.to_dict() for finding in findings],
+            "stale_baseline": [entry.to_dict() for entry in stale],
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        for finding in findings:
+            print(finding.render())
+        for entry in stale:
+            print(
+                f"note: baseline entry no longer occurs "
+                f"({entry.path} [{entry.rule}] {entry.message!r}); remove it"
+            )
+        summary = f"{len(findings)} finding(s) in {report.files_checked} file(s)"
+        print(summary if findings else f"clean: {summary}")
+    return 2 if findings else 0
 
 
 def _cache_command(action: str, cache_dir: Path | None) -> None:
@@ -730,6 +847,8 @@ def main(argv: Sequence[str] | None = None) -> int:
                 shard=args.shard,
                 fail_fast=args.fail_fast,
             )
+        elif args.command == "lint":
+            return _lint(args)
         elif args.command == "cache":
             _cache_command(args.action, args.cache_dir)
     except ReproError as error:

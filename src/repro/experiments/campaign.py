@@ -612,7 +612,7 @@ def _clear_journals(directory: Path, shard_spec: tuple[int, int] | None) -> None
     on other hosts.
     """
     if shard_spec is None:
-        for path in directory.glob(f"{_JOURNAL_PREFIX}*.jsonl"):
+        for path in sorted(directory.glob(f"{_JOURNAL_PREFIX}*.jsonl")):
             path.unlink(missing_ok=True)
     else:
         _journal_path(directory, shard_spec).unlink(missing_ok=True)

@@ -38,6 +38,7 @@ SPEC = ExperimentSpec(
         "the expander every round does not slow the processes down"
     ),
     paper_reference="extension (cf. the authors' follow-up work on dynamic graphs)",
+    version="1",
 )
 
 QUICK_SIZES = (128, 256, 512, 1024)

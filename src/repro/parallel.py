@@ -154,6 +154,7 @@ def shard_bounds(n_items: int, shard_size: int | None = None) -> list[tuple[int,
 
 def _initialize_worker(kernel: Callable[..., Any], context: Any) -> None:
     """Install the kernel and its shared context in a pool worker."""
+    # repro: ignore[spawn-safety] -- this IS the initializer seam: each worker installs its own copy; the parent never reads these
     global _worker_kernel, _worker_context
     _worker_kernel = kernel
     _worker_context = context
@@ -396,9 +397,9 @@ class SharedGraph:
                     if segment is not None:
                         try:
                             segment.close()
-                        except Exception:
+                        except Exception:  # repro: ignore[error-taxonomy] -- best-effort shm detach; teardown must not raise
                             pass
-        except Exception:
+        except Exception:  # repro: ignore[error-taxonomy] -- close() runs from __del__/atexit where raising is forbidden
             pass
 
     def __repr__(self) -> str:
@@ -559,7 +560,7 @@ def imap_shards(
         # no parallelism.
         try:
             pickle.dumps((kernel, context))
-        except Exception:
+        except Exception:  # repro: ignore[error-taxonomy] -- picklability probe: any failure means degrade to inline
             inline = True
     if inline:
         for index, task in enumerate(tasks):
@@ -758,7 +759,7 @@ def iter_resilient(
     if not inline and pool_context.get_start_method() != "fork":
         try:
             pickle.dumps((kernel, context))
-        except Exception:
+        except Exception:  # repro: ignore[error-taxonomy] -- picklability probe: any failure means degrade to inline
             inline = True
     if inline:
         yield from run_inline()
@@ -841,7 +842,7 @@ def iter_resilient(
                     on_event("recycled the worker pool after a missed deadline")
                 try:
                     pool = make_pool()
-                except Exception:  # pragma: no cover - pool creation failure
+                except Exception:  # pragma: no cover - pool creation failure  # repro: ignore[error-taxonomy] -- degrade path: failure is reported via on_event and execution continues inline
                     if on_event is not None:
                         on_event(
                             "could not rebuild the worker pool; degrading to "

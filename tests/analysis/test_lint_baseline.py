@@ -1,0 +1,73 @@
+"""Baseline files: round-trip, multiset matching, staleness, validation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.lint import (
+    Finding,
+    load_baseline,
+    save_baseline,
+    split_against_baseline,
+)
+from repro.analysis.lint.baseline import BASELINE_SCHEMA
+from repro.errors import ReproError
+
+
+def _finding(message: str, line: int = 1, rule: str = "determinism") -> Finding:
+    return Finding(rule=rule, path="src/repro/mod.py", line=line, column=1, message=message)
+
+
+def test_round_trip_preserves_findings_and_sorts(tmp_path):
+    path = tmp_path / "baseline.json"
+    findings = [_finding("b", line=9), _finding("a", line=2)]
+    save_baseline(path, findings)
+    loaded = load_baseline(path)
+    assert [finding.message for finding in loaded] == ["a", "b"]
+    assert set(loaded) == set(findings)
+
+
+def test_saved_baseline_is_stable_json_with_schema(tmp_path):
+    path = tmp_path / "baseline.json"
+    save_baseline(path, [_finding("a")])
+    payload = json.loads(path.read_text())
+    assert payload["schema"] == BASELINE_SCHEMA
+    assert path.read_text().endswith("\n")
+
+
+def test_split_partitions_new_grandfathered_and_stale():
+    baseline = [_finding("old", line=5), _finding("gone", line=7)]
+    current = [_finding("old", line=50), _finding("brand-new", line=1)]
+    new, grandfathered, stale = split_against_baseline(current, baseline)
+    assert [finding.message for finding in new] == ["brand-new"]
+    assert [finding.message for finding in grandfathered] == ["old"]
+    assert [finding.message for finding in stale] == ["gone"]
+
+
+def test_split_matches_identical_findings_by_multiplicity():
+    baseline = [_finding("dup")]
+    current = [_finding("dup", line=3), _finding("dup", line=8)]
+    new, grandfathered, stale = split_against_baseline(current, baseline)
+    assert len(grandfathered) == 1
+    assert len(new) == 1  # the second identical violation still fails
+    assert stale == []
+
+
+def test_missing_baseline_file_is_an_error(tmp_path):
+    with pytest.raises(ReproError, match="cannot read"):
+        load_baseline(tmp_path / "nope.json")
+
+
+def test_malformed_and_wrong_schema_baselines_are_errors(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text("not json")
+    with pytest.raises(ReproError, match="not valid JSON"):
+        load_baseline(path)
+    path.write_text(json.dumps({"schema": 99, "findings": []}))
+    with pytest.raises(ReproError, match="schema"):
+        load_baseline(path)
+    path.write_text(json.dumps({"findings": [{"rule": "r"}], "schema": BASELINE_SCHEMA}))
+    with pytest.raises(ReproError, match="malformed entry"):
+        load_baseline(path)

@@ -1,0 +1,92 @@
+"""``repro lint`` CLI: exit codes, formats, rule selection, baselines."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.cli import main
+
+CLEAN = "from numpy.random import default_rng\nrng = default_rng(7)\n"
+DIRTY = "import numpy as np\nnp.random.seed(0)\n"
+
+
+def _write(tmp_path: Path, source: str, name: str = "mod.py") -> Path:
+    path = tmp_path / name
+    path.write_text(source, encoding="utf-8")
+    return path
+
+
+def test_exit_zero_and_clean_summary_on_clean_tree(tmp_path, capsys):
+    path = _write(tmp_path, CLEAN)
+    assert main(["lint", str(path)]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_exit_two_with_rendered_findings_on_violations(tmp_path, capsys):
+    path = _write(tmp_path, DIRTY)
+    assert main(["lint", str(path)]) == 2
+    out = capsys.readouterr().out
+    assert "[rng-discipline]" in out
+    assert "hint:" in out
+
+
+def test_json_format_emits_machine_readable_findings(tmp_path, capsys):
+    path = _write(tmp_path, DIRTY)
+    assert main(["lint", str(path), "--format", "json"]) == 2
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["files_checked"] == 1
+    assert payload["findings"][0]["rule"] == "rng-discipline"
+    assert payload["stale_baseline"] == []
+
+
+def test_rules_flag_restricts_to_named_rules(tmp_path):
+    path = _write(tmp_path, DIRTY)
+    assert main(["lint", str(path), "--rules", "error-taxonomy"]) == 0
+    assert main(["lint", str(path), "--rules", "rng-discipline"]) == 2
+
+
+def test_unknown_rule_id_is_a_usage_error(tmp_path):
+    path = _write(tmp_path, CLEAN)
+    assert main(["lint", str(path), "--rules", "no-such-rule"]) == 1
+
+
+def test_list_rules_prints_the_registry(capsys):
+    assert main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in (
+        "rng-discipline",
+        "determinism",
+        "backend-purity",
+        "cache-identity",
+        "spawn-safety",
+        "error-taxonomy",
+    ):
+        assert rule_id in out
+
+
+def test_baseline_workflow_grandfathers_then_reports_stale(tmp_path, capsys):
+    path = _write(tmp_path, DIRTY)
+    baseline = tmp_path / "baseline.json"
+
+    # Record the existing violation, then lint against the baseline:
+    # grandfathered, so the run is clean.
+    assert main(["lint", str(path), "--baseline", str(baseline), "--update-baseline"]) == 0
+    assert baseline.exists()
+    capsys.readouterr()
+    assert main(["lint", str(path), "--baseline", str(baseline)]) == 0
+
+    # A *second* identical violation is new, not absorbed.
+    _write(tmp_path, DIRTY + "np.random.seed(1)\nnp.random.seed(0)\n")
+    assert main(["lint", str(path), "--baseline", str(baseline)]) == 2
+
+    # Fixing the file leaves the baseline entry stale — reported, exit 0.
+    _write(tmp_path, CLEAN)
+    capsys.readouterr()
+    assert main(["lint", str(path), "--baseline", str(baseline)]) == 0
+    assert "no longer occurs" in capsys.readouterr().out
+
+
+def test_update_baseline_requires_baseline_path(tmp_path):
+    path = _write(tmp_path, CLEAN)
+    assert main(["lint", str(path), "--update-baseline"]) == 1
