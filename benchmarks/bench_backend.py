@@ -33,6 +33,7 @@ from pathlib import Path
 import numpy as np
 import pytest
 
+from benchmarks._root_summary import write_root_summary
 from repro.backends import available_backends, resolve_backend
 from repro.core.batch import batch_bips_infection_times, batch_cobra_cover_times
 from repro.graphs.generators import random_regular
@@ -49,7 +50,7 @@ REPETITIONS = 2 if BENCH_QUICK else 5
 
 #: Backends that exist but need an optional library; recorded as
 #: skipped (with the reason) when absent instead of failing the run.
-OPTIONAL_BACKENDS = ("cupy",)
+OPTIONAL_BACKENDS = ("cupy", "numba")
 
 
 def _best_of(callable_, repetitions: int) -> float:
@@ -133,5 +134,26 @@ def bench_backend_matrix(benchmark, cell):
     matrix = benchmark.pedantic(measure, rounds=1, iterations=1)
     OUT_PATH.parent.mkdir(parents=True, exist_ok=True)
     OUT_PATH.write_text(json.dumps(matrix, indent=2, sort_keys=True) + "\n")
+    write_root_summary(
+        "backend",
+        {
+            "quick": matrix["quick"],
+            "cell": {
+                "n": matrix["n"],
+                "degree": matrix["degree"],
+                "cobra_replicas": matrix["cobra_replicas"],
+                "bips_replicas": matrix["bips_replicas"],
+            },
+            "vs_numpy": {
+                spec: {
+                    "cobra": row["cobra_vs_numpy"],
+                    "bips": row["bips_vs_numpy"],
+                }
+                for spec, row in matrix["backends"].items()
+            },
+            "skipped": matrix["skipped"],
+            "determinism": matrix["determinism"],
+        },
+    )
     for key, value in matrix.items():
         benchmark.extra_info[key] = value

@@ -38,6 +38,7 @@ from pathlib import Path
 import numpy as np
 import pytest
 
+from benchmarks._root_summary import write_root_summary
 from repro._rng import ensure_generator, spawn_seed_sequences
 from repro.core.batch import (
     batch_bips_traces,
@@ -297,5 +298,14 @@ def bench_batch_speed_bars_and_determinism(benchmark, small_cell, large_cell):
     matrix = benchmark.pedantic(measure, rounds=1, iterations=1)
     OUT_PATH.parent.mkdir(parents=True, exist_ok=True)
     OUT_PATH.write_text(json.dumps(matrix, indent=2, sort_keys=True) + "\n")
+    write_root_summary(
+        "batch",
+        {
+            "quick": matrix["quick"],
+            "ladder_cell": matrix["ladder_cell"],
+            "ladder_top": matrix["ladder_top"],
+            "determinism": matrix["determinism"],
+        },
+    )
     for key, value in matrix.items():
         benchmark.extra_info[key] = value

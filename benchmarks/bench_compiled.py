@@ -1,0 +1,185 @@
+"""Benchmark of the compiled (numba) kernel tier against the reference.
+
+Two cells frame the tier, both asserted bit-identical to the NumPy
+reference before any clock starts (the compiled kernels consume the
+exact host RNG stream, so equality is exact, not distributional):
+
+* **Dense ladder-top cell** (E1's acceptance-bar substrate: ``n =
+  2000``, 8-regular expander, COBRA ``k = 2``, 200 replicas) — the
+  ROADMAP's compiled-tier bar is *asserted* here: the numba backend
+  must beat the NumPy reference by ``>= 5x``.  The BIPS dense cell is
+  measured alongside and reported.
+* **Sparse-frontier cell** (65536 vertices, fixed 12-round horizon,
+  frontier far below n) — the compiled sparse kernels replace the
+  ``np.unique`` / ``bitwise_or.at`` coalescing pipeline; the speedup
+  is reported, not asserted (the cell is host-sampling-bound).
+
+The ``jobs=1`` vs ``jobs=4`` bit-identity contract is asserted for the
+compiled tier as well.  On machines without numba the measurements are
+recorded as skipped — the pure-Python kernel fallback proves parity in
+the test suite but is far too slow to time honestly — and the CI
+``compiled-tier`` job (which installs the extra) runs the real
+measurement.  ``REPRO_BENCH_QUICK=1`` shrinks the workloads and skips
+the timing bars.
+"""
+
+from __future__ import annotations
+
+import importlib
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from benchmarks._root_summary import write_root_summary
+from repro.core.batch import batch_bips_infection_times, batch_cobra_cover_times
+from repro.core.sparse import sparse_cobra_cover_times
+from repro.graphs.generators import random_regular
+
+BENCH_QUICK = os.environ.get("REPRO_BENCH_QUICK") == "1"
+OUT_PATH = Path(__file__).resolve().parent / "out" / "BENCH_compiled.json"
+
+# Dense ladder-top cell (the asserted >= 5x bar).
+LARGE_N = 256 if BENCH_QUICK else 2000
+LARGE_REPLICAS = 64 if BENCH_QUICK else 200
+LARGE_SHARD = 64 if BENCH_QUICK else 100
+BIPS_REPLICAS = 32 if BENCH_QUICK else 128
+DENSE_BAR = 5.0
+
+# Sparse-frontier cell (reported).
+SPARSE_N = 4096 if BENCH_QUICK else 65536
+SPARSE_REPLICAS = 16 if BENCH_QUICK else 64
+SPARSE_ROUNDS = 12
+
+DEGREE = 8
+REPETITIONS = 2 if BENCH_QUICK else 5
+
+
+def _best_of(callable_, repetitions: int) -> float:
+    best = float("inf")
+    for _ in range(repetitions):
+        started = time.perf_counter()
+        callable_()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _numba_missing_reason() -> str | None:
+    try:
+        importlib.import_module("numba")
+    except ImportError as error:
+        return f"not installed ({error.__class__.__name__})"
+    return None
+
+
+def bench_compiled_tier(benchmark):
+    """Dense + sparse compiled cells: bit-identity bars, then the clocks."""
+
+    def measure() -> dict:
+        matrix: dict = {
+            "quick": BENCH_QUICK,
+            "dense_cell": {
+                "n": LARGE_N,
+                "degree": DEGREE,
+                "branching": 2.0,
+                "replicas": LARGE_REPLICAS,
+            },
+            "sparse_cell": {
+                "n": SPARSE_N,
+                "degree": DEGREE,
+                "branching": 2.0,
+                "replicas": SPARSE_REPLICAS,
+                "max_rounds": SPARSE_ROUNDS,
+            },
+            "backends": {},
+            "skipped": {},
+        }
+        reason = _numba_missing_reason()
+        if reason is not None:
+            # The pure-Python kernel fallback proves bit-identity in the
+            # test suite but is not an honest thing to time; the CI
+            # compiled-tier job produces the real rows.
+            matrix["skipped"]["numba"] = reason
+            return matrix
+
+        dense = random_regular(LARGE_N, DEGREE, seed=11)
+        sparse = random_regular(SPARSE_N, DEGREE, seed=12)
+
+        def dense_cobra(backend: str, jobs: int = 1) -> np.ndarray:
+            return batch_cobra_cover_times(
+                dense, 0, n_replicas=LARGE_REPLICAS, seed=0, jobs=jobs,
+                shard_size=LARGE_SHARD, backend=backend,
+            )
+
+        def dense_bips(backend: str) -> np.ndarray:
+            return batch_bips_infection_times(
+                dense, 0, n_replicas=BIPS_REPLICAS, seed=1, jobs=1,
+                shard_size=LARGE_SHARD, backend=backend,
+            )
+
+        def sparse_cobra(backend: str | None) -> np.ndarray:
+            return sparse_cobra_cover_times(
+                sparse, 0, n_replicas=SPARSE_REPLICAS, seed=2, jobs=1,
+                max_rounds=SPARSE_ROUNDS, raise_on_timeout=False,
+                backend=backend,
+            )
+
+        # Bit-identity bars before any timing: dense vs the reference,
+        # sparse vs the reference sparse kernels, jobs=1 vs jobs=4.
+        reference = dense_cobra("numpy")
+        assert np.array_equal(dense_cobra("numba"), reference), (
+            "compiled dense COBRA kernel broke bit-identity with numpy"
+        )
+        assert np.array_equal(dense_cobra("numba", jobs=4), reference), (
+            "compiled dense COBRA kernel broke the jobs seed contract"
+        )
+        assert np.array_equal(dense_bips("numba"), dense_bips("numpy")), (
+            "compiled dense BIPS kernel broke bit-identity with numpy"
+        )
+        assert np.array_equal(sparse_cobra("numba"), sparse_cobra(None)), (
+            "compiled sparse COBRA kernel broke bit-identity with numpy"
+        )
+
+        rows: dict = {}
+        cobra_numpy = _best_of(lambda: dense_cobra("numpy"), REPETITIONS)
+        cobra_numba = _best_of(lambda: dense_cobra("numba"), REPETITIONS)
+        bips_numpy = _best_of(lambda: dense_bips("numpy"), REPETITIONS)
+        bips_numba = _best_of(lambda: dense_bips("numba"), REPETITIONS)
+        sparse_numpy = _best_of(lambda: sparse_cobra(None), REPETITIONS)
+        sparse_numba = _best_of(lambda: sparse_cobra("numba"), REPETITIONS)
+        rows["dense_cobra"] = {
+            "numpy_seconds": round(cobra_numpy, 5),
+            "numba_seconds": round(cobra_numba, 5),
+            "speedup": round(cobra_numpy / cobra_numba, 2),
+        }
+        rows["dense_bips"] = {
+            "numpy_seconds": round(bips_numpy, 5),
+            "numba_seconds": round(bips_numba, 5),
+            "speedup": round(bips_numpy / bips_numba, 2),
+        }
+        rows["sparse_cobra"] = {
+            "numpy_seconds": round(sparse_numpy, 5),
+            "numba_seconds": round(sparse_numba, 5),
+            "speedup": round(sparse_numpy / sparse_numba, 2),
+        }
+        matrix["backends"]["numba"] = rows
+        matrix["determinism"] = (
+            "numba tier bit-identical to numpy (dense + sparse times, "
+            "fixed seed, jobs 1 and 4)"
+        )
+        if not BENCH_QUICK:
+            # The ROADMAP's compiled-tier bar, on the ladder-top cell.
+            assert rows["dense_cobra"]["speedup"] >= DENSE_BAR, (
+                f"compiled tier below the {DENSE_BAR}x bar on the dense "
+                f"ladder-top cell: {rows['dense_cobra']}"
+            )
+        return matrix
+
+    matrix = benchmark.pedantic(measure, rounds=1, iterations=1)
+    OUT_PATH.parent.mkdir(parents=True, exist_ok=True)
+    OUT_PATH.write_text(json.dumps(matrix, indent=2, sort_keys=True) + "\n")
+    write_root_summary("compiled", matrix)
+    for key, value in matrix.items():
+        benchmark.extra_info[key] = value

@@ -36,6 +36,7 @@ from pathlib import Path
 import numpy as np
 import pytest
 
+from benchmarks._root_summary import write_root_summary
 from repro.core.batch import batch_cobra_cover_times
 from repro.core.event import event_cobra_cover_times
 from repro.graphs.generators import random_regular, torus
@@ -232,5 +233,14 @@ def bench_event_speed_bars_and_determinism(benchmark, sparse_cell, dense_cell):
     matrix = benchmark.pedantic(measure, rounds=1, iterations=1)
     OUT_PATH.parent.mkdir(parents=True, exist_ok=True)
     OUT_PATH.write_text(json.dumps(matrix, indent=2, sort_keys=True) + "\n")
+    write_root_summary(
+        "event",
+        {
+            "quick": matrix["quick"],
+            "sparse_walk": matrix["sparse_walk"],
+            "dense_cover": matrix["dense_cover"],
+            "determinism": matrix["determinism"],
+        },
+    )
     for key, value in matrix.items():
         benchmark.extra_info[key] = value

@@ -44,6 +44,7 @@ from pathlib import Path
 import numpy as np
 import pytest
 
+from benchmarks._root_summary import write_root_summary
 from repro.core.batch import batch_cobra_cover_times
 from repro.core.sparse import sparse_bips_infection_times, sparse_cobra_cover_times
 from repro.graphs.generators import barabasi_albert, random_regular, torus
@@ -278,5 +279,15 @@ def bench_scale_matrix_and_bars(benchmark, walk_cell, dense_cell):
     matrix = benchmark.pedantic(measure, rounds=1, iterations=1)
     OUT_PATH.parent.mkdir(parents=True, exist_ok=True)
     OUT_PATH.write_text(json.dumps(matrix, indent=2, sort_keys=True) + "\n")
+    write_root_summary(
+        "scale",
+        {
+            "quick": matrix["quick"],
+            "cover_ladder": matrix["cover_ladder"],
+            "sparse_walk": matrix["sparse_walk"],
+            "dense_cover": matrix["dense_cover"],
+            "determinism": matrix["determinism"],
+        },
+    )
     for key, value in matrix.items():
         benchmark.extra_info[key] = value

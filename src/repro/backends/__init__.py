@@ -13,6 +13,12 @@ it:
   the abstraction existed (including the ``out=`` in-place forms), so
   results are **bit-identical** to the pre-backend engines and the
   allocation-lean property is preserved.
+* :class:`~repro.backends.numba_backend.NumbaBackend` — the compiled
+  CPU tier (spec ``"numba"``, the ``cobra-repro[numba]`` extra).  Same
+  host arrays and op vocabulary as the reference, but the batch/sparse
+  entry points swap in the Numba-JIT shard kernels from
+  :mod:`repro.core.compiled`; bit-identical to the reference for a
+  fixed seed, several times faster on the dense ladder cells.
 * :class:`~repro.backends.array_api.ArrayApiBackend` — a generic
   implementation over any array-API-compatible namespace (NumPy 2.x
   itself, CuPy, or anything wrapped by ``array_api_compat``).  GPU
@@ -74,6 +80,13 @@ def _build_backend(spec: str) -> Backend:
 
     if spec == "numpy":
         return NumpyBackend()
+    if spec == "numba":
+        # Import lazily: the numba backend pulls in the compiled-kernel
+        # module, and its constructor enforces availability (numba
+        # installed, or the explicit pure-Python fallback opt-in).
+        from repro.backends.numba_backend import NumbaBackend
+
+        return NumbaBackend()
     if spec == "cupy":
         try:
             cupy = importlib.import_module("cupy")
@@ -99,7 +112,7 @@ def _build_backend(spec: str) -> Backend:
             ) from None
         return ArrayApiBackend(namespace, spec=spec)
     raise BackendError(
-        f"unknown backend {spec!r}; expected 'numpy', 'cupy', "
+        f"unknown backend {spec!r}; expected 'numpy', 'numba', 'cupy', "
         "'array-api:<module>', or a Backend instance"
     )
 
@@ -202,15 +215,22 @@ def available_backends() -> list[str]:
     """Spec strings of the backends importable in this environment.
 
     Always contains ``"numpy"`` and ``"array-api:numpy"`` (NumPy 2.x is
-    its own array-API namespace); ``"cupy"`` appears only when CuPy is
-    installed.  Used by the backend benchmark and the CI matrix to skip
-    gracefully instead of failing on machines without a GPU stack.
+    its own array-API namespace); ``"cupy"`` and ``"numba"`` appear only
+    when the corresponding package is installed (``"numba"`` also under
+    the explicit ``REPRO_COMPILED_FALLBACK=1`` testing opt-in).  Used by
+    the backend benchmark and the CI matrix to skip gracefully instead
+    of failing on machines without a GPU stack or the numba extra.
     """
     specs = ["numpy", "array-api:numpy"]
-    for optional in ("cupy",):
+    for optional in ("cupy", "numba"):
         try:
             importlib.import_module(optional)
         except ImportError:
+            if optional == "numba":
+                from repro.core.compiled import fallback_enabled
+
+                if fallback_enabled():
+                    specs.append(optional)
             continue
         specs.append(optional)
     return specs

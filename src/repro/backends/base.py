@@ -64,9 +64,21 @@ class Backend(ABC):
     #: (``"numpy"``, ``"cupy"``, ``"array-api:<module>"``).
     spec: str = "numpy"
 
-    #: True only for the NumPy reference backend; the graph sampling
-    #: fast path keeps its original zero-indirection code on this flag.
+    #: True for backends whose arrays *are* host ``numpy.ndarray``s and
+    #: whose results are bit-identical to the NumPy reference (the
+    #: reference itself and the numba tier, which evolves plain host
+    #: arrays through compiled loops).  The graph sampling fast path,
+    #: the irregular-graph gate, and the host memory budget all key on
+    #: this flag.
     is_numpy: bool = False
+
+    #: True when the batch/sparse entry points should swap in the
+    #: compiled (Numba-JIT) shard kernels from
+    #: :mod:`repro.core.compiled` instead of the reference kernels.
+    #: The backend instance still travels in the shard context (it
+    #: pickles as its spec), but the compiled kernels only use it for
+    #: graph residency — the round loops are jitted host code.
+    provides_compiled_kernels: bool = False
 
     def __init__(self) -> None:
         self._graph_cache: dict[int, tuple[Any, Any]] = {}

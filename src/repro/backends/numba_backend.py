@@ -1,0 +1,57 @@
+"""The numba backend: host NumPy arrays, compiled shard kernels.
+
+:class:`NumbaBackend` is deliberately thin.  It *is* the NumPy
+reference backend as far as the array vocabulary goes (every op is
+inherited verbatim, so anything that runs host-side — trace recording,
+compaction bookkeeping, the odd reference-kernel call — is
+bit-identical), but it sets :attr:`~repro.backends.base.Backend.
+provides_compiled_kernels`, which makes the batch and sparse entry
+points swap the reference shard kernels for the Numba-JIT round loops
+in :mod:`repro.core.compiled`.
+
+``is_numpy`` stays True: the compiled tier evolves plain host
+``numpy.ndarray`` state and host-samples through the exact
+``uniform_draws`` stream, so the irregular-graph gate does not apply,
+the dense-state memory budget does, and ``sample_neighbors`` keeps its
+zero-indirection host path.  The one vocabulary difference is
+``graph_indices``: the compiled kernels gather CSR neighbours inline,
+so the backend keeps the base class's *cached* upcast-at-residency
+behaviour (int32 storage is upcast to int64 once per graph, not once
+per shard round-loop) instead of the reference backend's uncached
+pass-through.
+
+Construction is where availability is enforced: requesting
+``backend="numba"`` without numba installed raises
+:class:`~repro.errors.BackendError` up front (install the
+``cobra-repro[numba]`` extra), unless the pure-Python kernel fallback
+has been explicitly opted into via ``REPRO_COMPILED_FALLBACK=1``
+(testing only).  Spawn workers re-resolve the spec string and hit the
+same gate, so a pool can never silently degrade.
+"""
+
+from __future__ import annotations
+
+from repro.backends.base import Backend
+from repro.backends.numpy_backend import NumpyBackend
+from repro.errors import BackendError
+
+
+class NumbaBackend(NumpyBackend):
+    """Host-array backend that routes shard loops to compiled kernels."""
+
+    spec = "numba"
+    provides_compiled_kernels = True
+
+    # Cached upcast-at-residency (see module docstring); NumpyBackend's
+    # uncached override would re-upcast int32 indices on every call.
+    graph_indices = Backend.graph_indices
+
+    def __init__(self) -> None:
+        from repro.core.compiled import NUMBA_AVAILABLE, compiled_available
+
+        if not compiled_available():
+            from repro.core.compiled import missing_numba_message
+
+            raise BackendError(missing_numba_message())
+        super().__init__()
+        self.jit_enabled = NUMBA_AVAILABLE

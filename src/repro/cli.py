@@ -73,10 +73,11 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="SPEC",
         help=(
-            "array backend for the batch engines: 'numpy' (default), 'cupy', "
-            "or 'array-api:<module>'; falls back to the REPRO_BACKEND "
-            "environment variable, and deterministic backends produce "
-            "bit-identical results for a fixed seed"
+            "array backend for the batch engines: 'numpy' (default), 'numba' "
+            "(compiled kernel tier, needs the cobra-repro[numba] extra), "
+            "'cupy', or 'array-api:<module>'; falls back to the "
+            "REPRO_BACKEND environment variable, and deterministic backends "
+            "produce bit-identical results for a fixed seed"
         ),
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
@@ -92,13 +93,14 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--engine",
         default=None,
-        choices=("process", "batch", "event", "sparse"),
+        choices=("process", "batch", "compiled", "event", "sparse"),
         help=(
             "measurement engine for engine-aware experiments: 'batch' "
-            "(vectorised rounds, the default), 'process' (sequential "
-            "rounds), 'event' (continuous-time Gillespie), or 'sparse' "
-            "(frontier-proportional kernels for million-vertex graphs); "
-            "shorthand for --set engine=NAME"
+            "(vectorised rounds, the default), 'compiled' (batch on the "
+            "numba backend — bit-identical, JIT-compiled rounds), 'process' "
+            "(sequential rounds), 'event' (continuous-time Gillespie), or "
+            "'sparse' (frontier-proportional kernels for million-vertex "
+            "graphs); shorthand for --set engine=NAME"
         ),
     )
     run.add_argument(

@@ -463,6 +463,27 @@ def _resolve_engine_backend(graph: Graph, backend: "str | Backend | None") -> Ba
     return resolved
 
 
+def _resolve_shard_kernel(engine_backend: Backend, process: str):
+    """Pick the shard kernel the resolved backend should run.
+
+    Backends that provide compiled kernels (the numba tier) get the
+    Numba-JIT shards from :mod:`repro.core.compiled` — warmed here, in
+    the parent, so the on-disk compile cache is populated before any
+    worker pool starts and spawn workers never pay the JIT cost.
+    Everything else runs the reference kernels above.  Both kernel
+    families are module-level functions, so either pickles to spawn
+    workers.
+    """
+    if engine_backend.provides_compiled_kernels:
+        from repro.core import compiled
+
+        compiled.ensure_warm()
+        if process == "cobra":
+            return compiled.compiled_cobra_shard
+        return compiled.compiled_bips_shard
+    return _cobra_shard if process == "cobra" else _bips_shard
+
+
 def _check_memory_budget(
     graph: Graph,
     engine_backend: Backend,
@@ -610,8 +631,9 @@ def batch_cobra_cover_times(
     parameters = (
         start, mandatory, rho, max_rounds, include_start_in_cover, False, engine_backend,
     )
+    kernel = _resolve_shard_kernel(engine_backend, "cobra")
     times = np.concatenate(
-        _run_sharded(_cobra_shard, graph, parameters, n_replicas, seed, shard_size, jobs)
+        _run_sharded(kernel, graph, parameters, n_replicas, seed, shard_size, jobs)
     )
     _check_timeouts(times, raise_on_timeout, "COBRA", "cover", graph, max_rounds)
     return times
@@ -656,8 +678,9 @@ def batch_cobra_traces(
     parameters = (
         start, mandatory, rho, max_rounds, include_start_in_cover, True, engine_backend,
     )
+    kernel = _resolve_shard_kernel(engine_backend, "cobra")
     times, active, newly, transmissions = _merge_traces(
-        _run_sharded(_cobra_shard, graph, parameters, n_replicas, seed, shard_size, jobs)
+        _run_sharded(kernel, graph, parameters, n_replicas, seed, shard_size, jobs)
     )
     _check_timeouts(times, raise_on_timeout, "COBRA", "cover", graph, max_rounds)
     return BatchTraces(
@@ -704,8 +727,9 @@ def batch_bips_infection_times(
         graph, engine_backend, "bips", n_replicas, mandatory, False, shard_size, jobs
     )
     parameters = (source, mandatory, rho, max_rounds, False, engine_backend)
+    kernel = _resolve_shard_kernel(engine_backend, "bips")
     times = np.concatenate(
-        _run_sharded(_bips_shard, graph, parameters, n_replicas, seed, shard_size, jobs)
+        _run_sharded(kernel, graph, parameters, n_replicas, seed, shard_size, jobs)
     )
     _check_timeouts(
         times, raise_on_timeout, "BIPS", "infect", graph, max_rounds,
@@ -748,8 +772,9 @@ def batch_bips_traces(
         graph, engine_backend, "bips", n_replicas, mandatory, True, shard_size, jobs
     )
     parameters = (source, mandatory, rho, max_rounds, True, engine_backend)
+    kernel = _resolve_shard_kernel(engine_backend, "bips")
     times, active, newly, transmissions = _merge_traces(
-        _run_sharded(_bips_shard, graph, parameters, n_replicas, seed, shard_size, jobs)
+        _run_sharded(kernel, graph, parameters, n_replicas, seed, shard_size, jobs)
     )
     _check_timeouts(
         times, raise_on_timeout, "BIPS", "infect", graph, max_rounds,

@@ -171,6 +171,56 @@ def test_backend_purity_clean_on_protocol_ops_and_host_only_kernels(tmp_path):
     assert _lint(tmp_path, host_only, rule) == []
 
 
+def test_backend_purity_flags_njit_numpy_outside_allowlist(tmp_path):
+    source = (
+        "import numpy as np\n"
+        "from numba import njit\n"
+        "@njit(cache=True, parallel=True)\n"
+        "def _round_kernel(state):\n"
+        "    keys = np.unique(state)\n"
+        "    draws = np.random.random(4)\n"
+        "    return keys, draws\n"
+    )
+    rule = rules_by_id()["backend-purity"]
+    findings = _lint(tmp_path, source, rule)
+    messages = " | ".join(finding.message for finding in findings)
+    assert len(findings) == 2
+    assert "np.unique" in messages
+    assert "randomness" in messages
+
+
+def test_backend_purity_flags_njit_attribute_decorator_form(tmp_path):
+    source = (
+        "import numba\n"
+        "import numpy as np\n"
+        "@numba.njit\n"
+        "def _round_kernel(state):\n"
+        "    return np.sort(state)\n"
+    )
+    rule = rules_by_id()["backend-purity"]
+    findings = _lint(tmp_path, source, rule)
+    assert len(findings) == 1
+    assert "np.sort" in findings[0].message
+
+
+def test_backend_purity_clean_on_allowlisted_njit_kernel(tmp_path):
+    source = (
+        "import numpy as np\n"
+        "from numba import njit, prange\n"
+        "@njit(cache=True, parallel=True)\n"
+        "def _round_kernel(state, out):\n"
+        "    buffer = np.empty(state.shape[0], np.int64)\n"
+        "    for i in prange(state.shape[0]):\n"
+        "        buffer[i] = state[i] & np.uint64(63)\n"
+        "        out[i] = np.zeros(1, np.bool_)[0]\n"
+        "    return buffer\n"
+        "def _plain_helper(values):\n"
+        "    return np.unique(values)\n"
+    )
+    rule = rules_by_id()["backend-purity"]
+    assert _lint(tmp_path, source, rule) == []
+
+
 # --- cache-identity ---------------------------------------------------
 
 

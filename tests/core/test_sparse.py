@@ -178,10 +178,21 @@ class TestEngineSeam:
                 small_expander, n_samples=4, engine="sparse", transmission_rate=2.0
             )
 
-    def test_sparse_rejects_backend(self, small_expander):
-        with pytest.raises(ExperimentError, match="engine='batch'"):
+    def test_sparse_accepts_host_backend(self, small_expander):
+        default = measure_cobra_cover(
+            small_expander, n_samples=8, seed=5, engine="sparse"
+        )
+        explicit = measure_cobra_cover(
+            small_expander, n_samples=8, seed=5, engine="sparse", backend="numpy"
+        )
+        assert np.array_equal(default.times, explicit.times)
+
+    def test_sparse_rejects_device_backend(self, small_expander):
+        from repro.errors import BackendError
+
+        with pytest.raises(BackendError, match="engine='sparse'"):
             measure_cobra_cover(
-                small_expander, n_samples=4, engine="sparse", backend="numpy"
+                small_expander, n_samples=4, engine="sparse", backend="array-api:numpy"
             )
 
     def test_engine_error_names_sparse(self, small_expander):
